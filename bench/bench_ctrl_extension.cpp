@@ -1,0 +1,56 @@
+// E10 (extension) -- control dependencies.
+//
+// The paper: "for a complete specification of RMO and Alpha, we need to
+// add control dependencies, which were not implemented but are supported
+// by our framework."  This harness implements that extension: it contrasts
+// full RMO (with ControlDep) against the explored RMO variant (data deps
+// only) and shows the branch-carrying litmus tests that separate them,
+// plus the verdicts of every named model on those tests.
+#include <cstdio>
+
+#include "core/analysis.h"
+#include "core/checker.h"
+#include "litmus/catalog.h"
+#include "models/zoo.h"
+#include "util/table.h"
+
+int main() {
+  using namespace mcmc;
+
+  std::printf("== E10 / extension: control dependencies ==\n\n");
+
+  const auto tests = {litmus::ctrl_lb(), litmus::ctrl_mp(),
+                      litmus::load_buffering(), litmus::message_passing()};
+  const auto named = models::all_named_models();
+
+  std::vector<std::string> header = {"test"};
+  for (const auto& m : named) header.push_back(m.name());
+  util::Table table(header);
+  for (const auto& t : tests) {
+    const core::Analysis an(t.program());
+    std::vector<std::string> row = {t.name()};
+    for (const auto& m : named) {
+      row.push_back(core::is_allowed(an, m, t.outcome()) ? "allow"
+                                                         : "forbid");
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // The separation result.
+  const auto rmo_full = models::rmo();
+  const auto rmo_nc = models::rmo_no_ctrl();
+  int separating = 0;
+  for (const auto& t : litmus::full_catalog()) {
+    const core::Analysis an(t.program());
+    if (core::is_allowed(an, rmo_full, t.outcome()) !=
+        core::is_allowed(an, rmo_nc, t.outcome())) {
+      ++separating;
+      std::printf("separates RMO from RMO-noctrl: %s\n", t.name().c_str());
+    }
+  }
+  std::printf("\n%d catalog tests separate the variants; all carry a "
+              "branch (ControlDep is invisible without one).\n",
+              separating);
+  return 0;
+}

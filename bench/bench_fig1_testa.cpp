@@ -1,0 +1,52 @@
+// E1 -- Figure 1: Test A under the named hardware models.
+//
+// Regenerates the paper's Figure 1 discussion: the outcome
+// r1 = 0; r2 = 2; r3 = 0 is allowed under TSO/x86 (store-buffer
+// forwarding lets T2 read its own Write Y early) and forbidden under SC
+// and IBM370 (which orders same-address write->read pairs).
+#include <cstdio>
+
+#include "core/analysis.h"
+#include "core/checker.h"
+#include "litmus/catalog.h"
+#include "models/zoo.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace mcmc;
+
+  const auto test = litmus::test_a();
+  std::printf("== E1 / Figure 1: litmus Test A ==\n\n%s\n",
+              test.to_string().c_str());
+
+  const core::Analysis an(test.program());
+  util::Table table({"model", "must-not-reorder F", "Test A outcome",
+                     "check time (us)"});
+  for (const auto& model : models::all_named_models()) {
+    util::Timer timer;
+    const auto result = core::check(an, model, test.outcome());
+    const double us = timer.seconds() * 1e6;
+    table.add_row({model.name(), model.formula().to_string(),
+                   result.allowed ? "ALLOWED" : "forbidden",
+                   std::to_string(static_cast<long long>(us))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Witness explanation under TSO, mirroring the figure's happens-before
+  // sketch.
+  const auto witness = core::check(an, models::tso(), test.outcome());
+  if (witness.allowed) {
+    std::printf("TSO witness linearization (one acyclic happens-before):\n");
+    for (const auto e : witness.order) {
+      const auto& ev = an.event(e);
+      std::printf("  T%d: %s\n", ev.thread + 1,
+                  core::to_string(*ev.instr).c_str());
+    }
+    std::printf(
+        "\nNote the absence of a Write Y => Read Y (r2) edge: T2 reads its\n"
+        "own buffered store early, exactly the forwarding the paper "
+        "describes.\n");
+  }
+  return 0;
+}

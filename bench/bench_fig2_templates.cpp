@@ -1,0 +1,72 @@
+// E2 -- Figure 2: the seven litmus-test templates.
+//
+// Regenerates the template statistics of Sections 3.2/3.4: per-case
+// instantiation counts, the Theorem-1 size bounds (2 threads, <= 6 memory
+// accesses), and one rendered example per case.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "enumeration/segment.h"
+#include "enumeration/suite.h"
+#include "enumeration/templates.h"
+#include "util/table.h"
+
+int main() {
+  using namespace mcmc;
+  using namespace mcmc::enumeration;
+
+  std::printf("== E2 / Figure 2: litmus test templates ==\n\n");
+
+  for (const bool deps : {true, false}) {
+    const auto breakdown = suite_breakdown(deps);
+    util::Table table({"template (critical segment)", "instances"});
+    table.add_row({"Case 1  read-write", std::to_string(breakdown.case1)});
+    table.add_row({"Case 2  write-write", std::to_string(breakdown.case2)});
+    table.add_row({"Case 3a read-read x write-write",
+                   std::to_string(breakdown.case3a)});
+    table.add_row({"Case 3b read-read x (write-read . read-write)",
+                   std::to_string(breakdown.case3b)});
+    table.add_row({"Case 4  write-read, different address",
+                   std::to_string(breakdown.case4)});
+    table.add_row({"Case 5a write-read same address + read-read",
+                   std::to_string(breakdown.case5a)});
+    table.add_row({"Case 5b write-read same address + read-write",
+                   std::to_string(breakdown.case5b)});
+    table.add_row({"total materialized", std::to_string(breakdown.total())});
+    table.add_row({"Corollary 1 bound",
+                   std::to_string(corollary1_bound(deps))});
+    std::printf("%s data dependencies:\n%s\n", deps ? "WITH" : "WITHOUT",
+                table.to_string().c_str());
+  }
+
+  // Size bounds across the whole suite.
+  int max_accesses = 0;
+  int max_threads = 0;
+  for (const auto& t : corollary1_suite(true)) {
+    max_accesses = std::max(max_accesses, t.program().num_memory_accesses());
+    max_threads = std::max(max_threads, t.program().num_threads());
+  }
+  std::printf("Theorem 1 bounds over the suite: threads <= %d (bound 2), "
+              "memory accesses <= %d (bound 6)\n\n",
+              max_threads, max_accesses);
+
+  // One example per case.
+  const Segment rw_dep{SegType::RW, false, Interior::Dep};
+  const Segment ww_diff{SegType::WW, false, Interior::None};
+  const Segment rr_fence{SegType::RR, false, Interior::Fence};
+  const Segment wr_diff{SegType::WR, false, Interior::None};
+  const Segment wr_same{SegType::WR, true, Interior::None};
+  const Segment rr_dep{SegType::RR, false, Interior::Dep};
+  const Segment rw_dep2{SegType::RW, false, Interior::Dep};
+  std::printf("-- example instantiations --\n\n");
+  std::printf("%s\n", case1(rw_dep)->to_string().c_str());
+  std::printf("%s\n", case2(ww_diff)->to_string().c_str());
+  std::printf("%s\n", case3a(rr_fence, ww_diff)->to_string().c_str());
+  std::printf("%s\n",
+              case3b(rr_fence, wr_diff, rw_dep)->to_string().c_str());
+  std::printf("%s\n", case4(wr_diff)->to_string().c_str());
+  std::printf("%s\n", case5a(wr_same, rr_dep)->to_string().c_str());
+  std::printf("%s\n", case5b(wr_same, rw_dep2)->to_string().c_str());
+  return 0;
+}

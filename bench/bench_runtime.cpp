@@ -1,0 +1,121 @@
+// E7 -- Section 4.2 runtime claims, as google-benchmark microbenchmarks.
+//
+// The paper: "The comparison of each pair of models was done in a few
+// seconds, and a pairwise comparison of all 90 models completed in 20
+// minutes."  We measure: one admissibility check, one pairwise model
+// comparison on the full suite, the full 90-model exploration via the
+// admissibility matrix, and the SAT-vs-explicit engine ablation.
+#include <benchmark/benchmark.h>
+
+#include "core/analysis.h"
+#include "core/checker.h"
+#include "enumeration/suite.h"
+#include "explore/matrix.h"
+#include "explore/space.h"
+#include "litmus/catalog.h"
+#include "models/zoo.h"
+
+namespace {
+
+using namespace mcmc;
+
+const std::vector<litmus::LitmusTest>& suite() {
+  static const auto s = enumeration::corollary1_suite(true);
+  return s;
+}
+
+const std::vector<core::Analysis>& analyses() {
+  static const auto a = [] {
+    std::vector<core::Analysis> out;
+    for (const auto& t : suite()) out.emplace_back(t.program());
+    return out;
+  }();
+  return a;
+}
+
+void BM_SingleCheck_Explicit(benchmark::State& state) {
+  const auto model = models::tso();
+  const auto& t = litmus::test_a();
+  const core::Analysis an(t.program());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::is_allowed(an, model, t.outcome(), core::Engine::Explicit));
+  }
+}
+BENCHMARK(BM_SingleCheck_Explicit);
+
+void BM_SingleCheck_Sat(benchmark::State& state) {
+  const auto model = models::tso();
+  const auto& t = litmus::test_a();
+  const core::Analysis an(t.program());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::is_allowed(an, model, t.outcome(), core::Engine::Sat));
+  }
+}
+BENCHMARK(BM_SingleCheck_Sat);
+
+/// One pairwise model comparison over the full suite (the unit the paper
+/// reports as "a few seconds").
+void BM_PairwiseComparison(benchmark::State& state) {
+  const auto a = explore::tso_choices().to_model();
+  const auto b = explore::pso_choices().to_model();
+  for (auto _ : state) {
+    bool a_extra = false;
+    bool b_extra = false;
+    for (std::size_t t = 0; t < suite().size(); ++t) {
+      const bool va =
+          core::is_allowed(analyses()[t], a, suite()[t].outcome());
+      const bool vb =
+          core::is_allowed(analyses()[t], b, suite()[t].outcome());
+      a_extra |= va && !vb;
+      b_extra |= vb && !va;
+    }
+    benchmark::DoNotOptimize(a_extra);
+    benchmark::DoNotOptimize(b_extra);
+  }
+}
+BENCHMARK(BM_PairwiseComparison)->Unit(benchmark::kMillisecond);
+
+/// The full exploration (the unit the paper reports as "20 minutes").
+void BM_Full90ModelExploration(benchmark::State& state) {
+  const auto space = explore::model_space(true);
+  std::vector<core::MemoryModel> models;
+  for (const auto& c : space) models.push_back(c.to_model());
+  for (auto _ : state) {
+    const explore::AdmissibilityMatrix matrix(models, suite());
+    int equivalent = 0;
+    for (int a = 0; a < matrix.num_models(); ++a) {
+      for (int b = a + 1; b < matrix.num_models(); ++b) {
+        equivalent +=
+            matrix.compare(a, b) == explore::Relation::Equivalent;
+      }
+    }
+    if (equivalent != 8) state.SkipWithError("expected 8 equivalent pairs");
+  }
+}
+BENCHMARK(BM_Full90ModelExploration)->Unit(benchmark::kMillisecond);
+
+/// Engine ablation across the whole suite x named models.
+void BM_SuiteSweep(benchmark::State& state) {
+  const auto engine = static_cast<core::Engine>(state.range(0));
+  const auto named = models::all_named_models();
+  for (auto _ : state) {
+    int allowed = 0;
+    for (std::size_t t = 0; t < suite().size(); ++t) {
+      for (const auto& m : named) {
+        allowed +=
+            core::is_allowed(analyses()[t], m, suite()[t].outcome(), engine);
+      }
+    }
+    benchmark::DoNotOptimize(allowed);
+  }
+}
+BENCHMARK(BM_SuiteSweep)
+    ->Arg(static_cast<int>(core::Engine::Sat))
+    ->Arg(static_cast<int>(core::Engine::Explicit))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// E8 -- Section 3.3: the local-segment length bound.
+//
+// Regenerates the paper's special-fence construction: with n chained
+// special fences f1..fn (each ordering only its chain neighbors), the
+// models F1 = SameAddr | special and F2 = SameAddr agree on every test
+// whose local segments are shorter than n+2 instructions and differ on
+// the full-chain test, demonstrating that segment length is bounded by
+// the number of instruction equivalence classes of the predicate set.
+#include <cstdio>
+
+#include "core/analysis.h"
+#include "core/checker.h"
+#include "core/formula.h"
+#include "core/model.h"
+#include "models/special_fence.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace mcmc;
+
+}  // namespace
+
+int main() {
+  std::printf("== E8 / Section 3.3: local segment length bound ==\n\n");
+  std::printf("F1 = SameAddr | special(f1..fn chain), F2 = SameAddr.\n"
+              "Cell shows F1/F2 verdict on the LB test whose read->write\n"
+              "segment carries k fences; 'contrast' marks the first k\n"
+              "where the models differ (paper: k = n, i.e. segment length "
+              "n+2).\n\n");
+
+  util::Table table({"n (chain)", "k=0", "k=1", "k=2", "k=3", "k=4",
+                     "first contrast at", "time (ms)"});
+  for (int n = 1; n <= 4; ++n) {
+    const core::MemoryModel f1 = models::special_fence_chain(n);
+    const core::MemoryModel f2 = models::same_addr_only();
+    util::Timer timer;
+    std::vector<std::string> row = {std::to_string(n)};
+    int first_contrast = -1;
+    for (int k = 0; k <= 4; ++k) {
+      const auto t = models::lb_with_fence_chain(k);
+      const core::Analysis an(t.program());
+      const bool a1 = core::is_allowed(an, f1, t.outcome());
+      const bool a2 = core::is_allowed(an, f2, t.outcome());
+      row.push_back(std::string(a1 ? "A" : "F") + "/" + (a2 ? "A" : "F"));
+      if (a1 != a2 && first_contrast < 0) first_contrast = k;
+    }
+    row.push_back(first_contrast < 0 ? "none <= 4"
+                                     : "k=" + std::to_string(first_contrast));
+    row.push_back(std::to_string(static_cast<long long>(timer.millis())));
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Reading: A=allowed, F=forbidden.  F1 contrasts F2 exactly at "
+              "k = n, so the\ncontrasting test needs a local segment of "
+              "n+2 instructions -- the bound of\nSection 3.3 is tight for "
+              "this predicate set.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Compare two memory models by name.
+//
+//   $ ./compare_models TSO SC
+//   $ ./compare_models M1044 M4144
+//   $ ./compare_models RMO Alpha
+//
+// Accepts the named hardware models (SC, TSO, x86, PSO, IBM370, RMO,
+// Alpha) and any Figure-4 style digit name (M[ww][wr][rw][rr]).  Reports
+// the relation induced by the bounded template suite -- which, by
+// Theorem 1, decides equivalence for the whole class -- and prints the
+// distinguishing tests in each direction.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/analysis.h"
+#include "core/checker.h"
+#include "enumeration/suite.h"
+#include "explore/matrix.h"
+#include "explore/space.h"
+#include "models/zoo.h"
+
+namespace {
+
+std::optional<mcmc::core::MemoryModel> lookup(const std::string& name) {
+  using namespace mcmc;
+  if (name == "SC") return models::sc();
+  if (name == "TSO") return models::tso();
+  if (name == "x86") return models::x86();
+  if (name == "PSO") return models::pso();
+  if (name == "IBM370") return models::ibm370();
+  if (name == "RMO") return models::rmo_no_ctrl();
+  if (name == "Alpha") return models::alpha_variant();
+  if (const auto c = explore::parse_model_name(name)) return c->to_model();
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcmc;
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s <model> <model>\n"
+                 "models: SC TSO x86 PSO IBM370 RMO Alpha or M####\n",
+                 argv[0]);
+    return 2;
+  }
+  const auto a = lookup(argv[1]);
+  const auto b = lookup(argv[2]);
+  if (!a || !b) {
+    std::fprintf(stderr, "unknown model '%s'\n", !a ? argv[1] : argv[2]);
+    return 2;
+  }
+
+  std::printf("%s: F = %s\n%s: F = %s\n\n", a->name().c_str(),
+              a->formula().to_string().c_str(), b->name().c_str(),
+              b->formula().to_string().c_str());
+
+  const auto suite = enumeration::corollary1_suite(true);
+  const explore::AdmissibilityMatrix matrix({*a, *b}, suite);
+  const auto relation = matrix.compare(0, 1);
+  switch (relation) {
+    case explore::Relation::Equivalent:
+      std::printf("EQUIVALENT: the models agree on all %zu suite tests;\n"
+                  "by the small-litmus-test theorem they allow exactly the "
+                  "same executions.\n",
+                  suite.size());
+      break;
+    case explore::Relation::FirstWeaker:
+      std::printf("%s is STRICTLY WEAKER than %s.\n", a->name().c_str(),
+                  b->name().c_str());
+      break;
+    case explore::Relation::FirstStronger:
+      std::printf("%s is STRICTLY STRONGER than %s.\n", a->name().c_str(),
+                  b->name().c_str());
+      break;
+    case explore::Relation::Incomparable:
+      std::printf("INCOMPARABLE: each model allows something the other "
+                  "forbids.\n");
+      break;
+  }
+
+  auto report = [&](int x, int y, const core::MemoryModel& mx,
+                    const core::MemoryModel& my) {
+    const auto only = matrix.allowed_by_first_only(x, y);
+    if (only.empty()) return;
+    std::printf("\nAllowed by %s, forbidden by %s (%zu tests), e.g.:\n",
+                mx.name().c_str(), my.name().c_str(), only.size());
+    std::printf("%s", suite[static_cast<std::size_t>(only[0])]
+                          .to_string()
+                          .c_str());
+  };
+  report(0, 1, *a, *b);
+  report(1, 0, *b, *a);
+  return 0;
+}

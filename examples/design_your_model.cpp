@@ -1,0 +1,95 @@
+// Design a custom memory model and locate it in the explored space.
+//
+//   $ ./design_your_model
+//
+// Shows the workflow a memory-model designer would use: write a
+// must-not-reorder formula for a hypothetical machine, then ask (a) which
+// of the 90 catalogued models it is equivalent to, (b) where it sits
+// between the named hardware models, and (c) which litmus tests separate
+// it from its neighbors.
+#include <cstdio>
+
+#include "core/analysis.h"
+#include "core/checker.h"
+#include "enumeration/suite.h"
+#include "explore/matrix.h"
+#include "explore/space.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace mcmc;
+  using namespace mcmc::core;  // formula DSL
+
+  // A hypothetical machine: keeps writes ordered and respects data
+  // dependencies, but lets reads sink below anything independent.
+  const MemoryModel custom(
+      "custom",
+      (write_x() && write_y()) || data_dep() || fence_x() || fence_y());
+  std::printf("custom model: F(x,y) = %s\n\n",
+              custom.formula().to_string().c_str());
+
+  const auto suite = enumeration::corollary1_suite(true);
+  const auto space = explore::model_space(true);
+
+  std::vector<MemoryModel> all;
+  all.push_back(custom);
+  for (const auto& c : space) all.push_back(c.to_model());
+  const explore::AdmissibilityMatrix matrix(all, suite);
+
+  // (a) equivalence class within the space.
+  bool placed = false;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (matrix.compare(0, static_cast<int>(i + 1)) ==
+        explore::Relation::Equivalent) {
+      std::printf("equivalent to catalogued model %s\n",
+                  space[i].name().c_str());
+      placed = true;
+    }
+  }
+  if (!placed) {
+    std::printf("not equivalent to any of the 90 catalogued models\n");
+  }
+
+  // (b) position relative to the named hardware models.
+  struct Named {
+    const char* label;
+    explore::ModelChoices choices;
+  };
+  const Named named[] = {
+      {"SC", explore::sc_choices()},       {"TSO", explore::tso_choices()},
+      {"PSO", explore::pso_choices()},     {"IBM370", explore::ibm370_choices()},
+      {"RMO", explore::rmo_choices()},
+  };
+  std::printf("\nrelative to hardware models:\n");
+  for (const auto& n : named) {
+    // Find the index of this model in the space.
+    int idx = -1;
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      if (space[i] == n.choices) idx = static_cast<int>(i);
+    }
+    const auto rel = matrix.compare(0, idx + 1);
+    std::printf("  vs %-7s: custom is %s\n", n.label,
+                explore::to_string(rel).c_str());
+  }
+
+  // (c) a separating test against TSO.
+  int tso_idx = -1;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (space[i] == explore::tso_choices()) tso_idx = static_cast<int>(i);
+  }
+  const auto separating = matrix.distinguishing_tests(0, tso_idx + 1);
+  if (!separating.empty()) {
+    const auto& t = suite[static_cast<std::size_t>(separating[0])];
+    const Analysis an(t.program());
+    std::printf("\nexample separating test vs TSO:\n%s",
+                t.to_string().c_str());
+    std::printf("  custom: %s, TSO: %s\n",
+                is_allowed(an, custom, t.outcome()) ? "allow" : "forbid",
+                is_allowed(an, space[static_cast<std::size_t>(tso_idx)]
+                                   .to_model(),
+                           t.outcome())
+                    ? "allow"
+                    : "forbid");
+  }
+  return 0;
+}

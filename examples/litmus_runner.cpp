@@ -1,0 +1,109 @@
+// Evaluate litmus tests under memory models.
+//
+//   $ ./litmus_runner                       # run the built-in catalog
+//   $ ./litmus_runner tests.lit             # run a corpus from a file
+//   $ ./litmus_runner -                     # read tests from stdin
+//   $ ./litmus_runner --explain tests.lit   # also explain forbidden ones
+//
+// Prints the verdict of every named hardware model for each test, plus a
+// witness execution order when the outcome is allowed; with --explain,
+// forbidden verdicts are justified with the forced happens-before cycle.
+// The file format is described in src/litmus/parser.h; a file may contain
+// several tests, each starting at a `name:` line.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/analysis.h"
+#include "core/checker.h"
+#include "core/explain.h"
+#include "litmus/catalog.h"
+#include "litmus/parser.h"
+#include "models/zoo.h"
+#include "util/table.h"
+
+namespace {
+
+void run_one(const mcmc::litmus::LitmusTest& test, bool explain) {
+  using namespace mcmc;
+  std::printf("%s\n", test.to_string().c_str());
+  const core::Analysis an(test.program());
+  util::Table table({"model", "verdict", "witness (first event ... last)"});
+  for (const auto& model : models::all_named_models()) {
+    const auto result = core::check(an, model, test.outcome());
+    std::string witness;
+    if (result.allowed) {
+      for (const auto e : result.order) {
+        if (!an.is_memory_access(e) && !an.is_fence(e)) continue;
+        if (!witness.empty()) witness += "; ";
+        witness += "T" + std::to_string(an.event(e).thread + 1) + ":" +
+                   core::to_string(*an.event(e).instr);
+      }
+    }
+    table.add_row({model.name(), result.allowed ? "ALLOWED" : "forbidden",
+                   witness});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  if (!explain) return;
+  for (const auto& model : models::all_named_models()) {
+    const auto explanation =
+        core::explain_forbidden(an, model, test.outcome());
+    if (explanation.actually_allowed) continue;
+    std::printf("why %s forbids it:\n", model.name().c_str());
+    for (std::size_t i = 0; i < explanation.candidates.size(); ++i) {
+      const auto& item = explanation.candidates[i];
+      std::printf("  read-from candidate %zu: %s\n", i + 1,
+                  item.summary.c_str());
+      for (const auto& line : item.forced_cycle) {
+        std::printf("    %s\n", line.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcmc;
+  bool explain = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--explain") {
+      explain = true;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  try {
+    if (inputs.empty()) {
+      for (const auto& t : litmus::full_catalog()) run_one(t, explain);
+      return 0;
+    }
+    for (const auto& input : inputs) {
+      std::string text;
+      if (input == "-") {
+        std::ostringstream buffer;
+        buffer << std::cin.rdbuf();
+        text = buffer.str();
+      } else {
+        std::ifstream in(input);
+        if (!in) {
+          std::fprintf(stderr, "cannot open %s\n", input.c_str());
+          return 2;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        text = buffer.str();
+      }
+      for (const auto& t : litmus::parse_corpus(text)) run_one(t, explain);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,79 @@
+// Run the operational machines on a litmus test and compare their
+// reachable outcomes with the axiomatic verdicts.
+//
+//   $ ./simulate            # simulate Figure 1's Test A
+//   $ ./simulate SB MP LB   # simulate catalog tests by name
+//
+// Demonstrates the sim layer: exhaustive exploration of the SC, TSO, PSO
+// and IBM370 store-buffer machines, and the agreement between each
+// machine and its axiomatic model.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/checker.h"
+#include "litmus/catalog.h"
+#include "models/zoo.h"
+#include "sim/storebuffer.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mcmc;
+
+void simulate(const litmus::LitmusTest& test) {
+  std::printf("%s\n", test.to_string().c_str());
+  struct Pairing {
+    std::unique_ptr<sim::Machine> machine;
+    core::MemoryModel model;
+  };
+  std::vector<Pairing> pairings;
+  pairings.push_back({sim::sc_machine(), models::sc()});
+  pairings.push_back({sim::tso_machine(), models::tso()});
+  pairings.push_back({sim::pso_machine(), models::pso()});
+  pairings.push_back({sim::ibm370_machine(), models::ibm370()});
+
+  const core::Analysis an(test.program());
+  util::Table table({"machine", "reachable outcomes", "this outcome",
+                     "axiomatic", "agree"});
+  for (const auto& p : pairings) {
+    const auto outcomes = p.machine->reachable_outcomes(test.program());
+    const bool reachable =
+        p.machine->outcome_reachable(test.program(), test.outcome());
+    const bool axiomatic = core::is_allowed(an, p.model, test.outcome());
+    table.add_row({p.machine->name(), std::to_string(outcomes.size()),
+                   reachable ? "reachable" : "unreachable",
+                   axiomatic ? "allowed" : "forbidden",
+                   reachable == axiomatic ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> wanted;
+  for (int i = 1; i < argc; ++i) wanted.emplace_back(argv[i]);
+  if (wanted.empty()) wanted.emplace_back("TestA");
+
+  const auto catalog = litmus::full_catalog();
+  for (const auto& name : wanted) {
+    bool found = false;
+    for (const auto& t : catalog) {
+      if (t.name() == name) {
+        simulate(t);
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown test '%s'; available:", name.c_str());
+      for (const auto& t : catalog) {
+        std::fprintf(stderr, " %s", t.name().c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+  }
+  return 0;
+}

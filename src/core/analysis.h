@@ -1,0 +1,99 @@
+// Static analysis of a litmus program: flattens instructions into events,
+// resolves addresses and store values, and precomputes the predicate
+// matrices (SameAddr, DataDep, ControlDep) that must-not-reorder functions
+// consume (Section 2.3 of the paper).
+//
+// Because programs are straight-line, instruction executions are in 1:1
+// correspondence with instructions; an "event" here is the paper's
+// instruction execution with everything but read results resolved.
+#pragma once
+
+#include <vector>
+
+#include "core/program.h"
+
+namespace mcmc::core {
+
+/// Dense event index across all threads (thread-major order).
+using EventId = int;
+
+/// A resolved instruction execution.
+struct Event {
+  int thread = 0;        ///< thread index
+  int index = 0;         ///< position within the thread
+  Op op = Op::Fence;     ///< opcode
+  Loc loc = kNoLoc;      ///< resolved address (memory accesses only)
+  int value = 0;         ///< resolved store value (writes) / constant
+  Reg dst = kNoReg;      ///< defined register
+  const Instruction* instr = nullptr;  ///< the underlying instruction
+};
+
+/// Immutable analysis result over a validated program.
+class Analysis {
+ public:
+  /// Validates and analyzes `program` (kept by reference; the program must
+  /// outlive the analysis).
+  explicit Analysis(const Program& program);
+
+  [[nodiscard]] const Program& program() const { return *program_; }
+  [[nodiscard]] int num_events() const {
+    return static_cast<int>(events_.size());
+  }
+  [[nodiscard]] const Event& event(EventId e) const;
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  /// Event id of instruction `index` in `thread`.
+  [[nodiscard]] EventId event_id(int thread, int index) const;
+
+  /// All write events to `loc`, in event-id order.
+  [[nodiscard]] std::vector<EventId> writes_to(Loc loc) const;
+
+  /// All read events, in event-id order.
+  [[nodiscard]] std::vector<EventId> reads() const;
+
+  /// Program order: true iff `a` and `b` are in the same thread and `a`
+  /// precedes `b`.
+  [[nodiscard]] bool po(EventId a, EventId b) const;
+
+  [[nodiscard]] bool same_thread(EventId a, EventId b) const;
+
+  // ---- Predicates (Section 2.3) ----
+
+  [[nodiscard]] bool is_read(EventId e) const {
+    return event(e).op == Op::Read;
+  }
+  [[nodiscard]] bool is_write(EventId e) const {
+    return event(e).op == Op::Write;
+  }
+  [[nodiscard]] bool is_fence(EventId e) const {
+    return event(e).op == Op::Fence;
+  }
+  [[nodiscard]] bool is_memory_access(EventId e) const {
+    return event(e).instr->is_memory_access();
+  }
+
+  /// SameAddr(a, b): both memory accesses to one location.
+  [[nodiscard]] bool same_addr(EventId a, EventId b) const;
+
+  /// DataDep(a, b): a defines a register that b's inputs (address, store
+  /// value, DepConst source, branch condition) transitively depend on;
+  /// requires po(a, b).
+  [[nodiscard]] bool data_dep(EventId a, EventId b) const;
+
+  /// ControlDep(a, b): some Branch between a and b (exclusive of b's
+  /// position upper bound) has a condition data-dependent on a; requires
+  /// po(a, b).
+  [[nodiscard]] bool ctrl_dep(EventId a, EventId b) const;
+
+ private:
+  void resolve_events();
+  void compute_deps();
+
+  const Program* program_;
+  std::vector<Event> events_;
+  std::vector<int> thread_base_;        // first EventId of each thread
+  std::vector<std::vector<bool>> dep_;  // dep_[a][b]: data dependency
+  std::vector<std::vector<bool>> cdep_;  // cdep_[a][b]: control dependency
+};
+
+}  // namespace mcmc::core

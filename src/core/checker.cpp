@@ -1,0 +1,240 @@
+#include "core/checker.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sat/solver.h"
+#include "util/check.h"
+
+namespace mcmc::core {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// SAT engine
+// ---------------------------------------------------------------------------
+
+/// Boolean variable for the ordered pair (i, j); the diagonal is unused but
+/// keeping the dense layout is simpler than compacting it.
+sat::Var pair_var(int n, EventId i, EventId j) {
+  return static_cast<sat::Var>(i * n + j);
+}
+
+bool sat_engine(const HbProblem& p, std::vector<EventId>* order) {
+  const int n = p.num_events;
+  sat::Solver solver;
+  for (int i = 0; i < n * n; ++i) solver.new_var();
+  for (const auto& clause : hb_to_cnf(p).clauses) solver.add_clause(clause);
+
+  if (!solver.solve()) return false;
+
+  if (order != nullptr) {
+    // Linearize the model's partial order: repeatedly emit a node with no
+    // unemitted predecessor.
+    std::vector<bool> emitted(static_cast<std::size_t>(n), false);
+    order->clear();
+    for (int step = 0; step < n; ++step) {
+      for (EventId v = 0; v < n; ++v) {
+        if (emitted[static_cast<std::size_t>(v)]) continue;
+        bool ready = true;
+        for (EventId u = 0; u < n; ++u) {
+          if (u != v && !emitted[static_cast<std::size_t>(u)] &&
+              solver.model_value(pair_var(n, u, v))) {
+            ready = false;
+            break;
+          }
+        }
+        if (ready) {
+          order->push_back(v);
+          emitted[static_cast<std::size_t>(v)] = true;
+          break;
+        }
+      }
+    }
+    MCMC_CHECK_MSG(static_cast<int>(order->size()) == n,
+                   "SAT model was not acyclic");
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Explicit engine
+// ---------------------------------------------------------------------------
+
+/// DFS over disjunction choices with an incrementally maintained transitive
+/// closure.  reach[i] is the bitmask of events strictly reachable from i.
+class ExplicitSearch {
+ public:
+  explicit ExplicitSearch(const HbProblem& p) : p_(p), n_(p.num_events) {
+    MCMC_REQUIRE_MSG(n_ <= 64, "explicit engine supports up to 64 events");
+    forb_.assign(static_cast<std::size_t>(n_), 0);
+    for (const auto& [x, y] : p.forbidden) {
+      forb_[static_cast<std::size_t>(x)] |= bit(y);
+    }
+  }
+
+  bool run(std::vector<EventId>* order) {
+    std::vector<std::uint64_t> reach(static_cast<std::size_t>(n_), 0);
+    for (const auto& [x, y] : p_.forced) {
+      if (!add_edge(reach, x, y)) return false;
+    }
+    if (!solve(reach, 0)) return false;
+    if (order != nullptr) linearize(witness_, *order);
+    return true;
+  }
+
+ private:
+  static std::uint64_t bit(EventId e) { return 1ULL << e; }
+
+  /// Adds u=>v and re-closes; fails on cycle or forbidden-edge violation.
+  bool add_edge(std::vector<std::uint64_t>& reach, EventId u, EventId v) {
+    if (u == v) return false;
+    if ((reach[static_cast<std::size_t>(v)] & bit(u)) != 0) return false;
+    const std::uint64_t gain =
+        bit(v) | reach[static_cast<std::size_t>(v)];
+    for (EventId i = 0; i < n_; ++i) {
+      const bool reaches_u =
+          i == u || (reach[static_cast<std::size_t>(i)] & bit(u)) != 0;
+      if (!reaches_u) continue;
+      const std::uint64_t nr = reach[static_cast<std::size_t>(i)] | gain;
+      if ((nr & bit(i)) != 0) return false;            // cycle through i
+      if ((nr & forb_[static_cast<std::size_t>(i)]) != 0) return false;
+      reach[static_cast<std::size_t>(i)] = nr;
+    }
+    return true;
+  }
+
+  bool holds(const std::vector<std::uint64_t>& reach, const Edge& e) const {
+    return (reach[static_cast<std::size_t>(e.first)] & bit(e.second)) != 0;
+  }
+
+  bool solve(std::vector<std::uint64_t>& reach, std::size_t idx) {
+    while (idx < p_.disjunctions.size() &&
+           (holds(reach, p_.disjunctions[idx].first) ||
+            holds(reach, p_.disjunctions[idx].second))) {
+      ++idx;
+    }
+    if (idx == p_.disjunctions.size()) {
+      witness_ = reach;
+      return true;
+    }
+    const auto& d = p_.disjunctions[idx];
+    for (const Edge& e : {d.first, d.second}) {
+      std::vector<std::uint64_t> copy = reach;
+      if (add_edge(copy, e.first, e.second) && solve(copy, idx + 1)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void linearize(const std::vector<std::uint64_t>& reach,
+                 std::vector<EventId>& order) const {
+    order.clear();
+    std::uint64_t emitted = 0;
+    for (int step = 0; step < n_; ++step) {
+      for (EventId v = 0; v < n_; ++v) {
+        if ((emitted & bit(v)) != 0) continue;
+        bool ready = true;
+        for (EventId u = 0; u < n_; ++u) {
+          if ((emitted & bit(u)) == 0 && u != v &&
+              (reach[static_cast<std::size_t>(u)] & bit(v)) != 0) {
+            ready = false;
+            break;
+          }
+        }
+        if (ready) {
+          order.push_back(v);
+          emitted |= bit(v);
+          break;
+        }
+      }
+    }
+    MCMC_CHECK_MSG(static_cast<int>(order.size()) == n_,
+                   "closure was not acyclic");
+  }
+
+  const HbProblem& p_;
+  int n_;
+  std::vector<std::uint64_t> forb_;
+  std::vector<std::uint64_t> witness_;
+};
+
+}  // namespace
+
+sat::Cnf hb_to_cnf(const HbProblem& p) {
+  const int n = p.num_events;
+  sat::Cnf cnf;
+  cnf.num_vars = n * n;
+  // Antisymmetry (which, with transitivity, yields acyclicity).
+  for (EventId i = 0; i < n; ++i) {
+    for (EventId j = i + 1; j < n; ++j) {
+      cnf.clauses.push_back({sat::Lit::neg(pair_var(n, i, j)),
+                             sat::Lit::neg(pair_var(n, j, i))});
+    }
+  }
+  // Transitivity.
+  for (EventId i = 0; i < n; ++i) {
+    for (EventId j = 0; j < n; ++j) {
+      if (j == i) continue;
+      for (EventId k = 0; k < n; ++k) {
+        if (k == i || k == j) continue;
+        cnf.clauses.push_back({sat::Lit::neg(pair_var(n, i, j)),
+                               sat::Lit::neg(pair_var(n, j, k)),
+                               sat::Lit::pos(pair_var(n, i, k))});
+      }
+    }
+  }
+  for (const auto& [x, y] : p.forced) {
+    cnf.clauses.push_back({sat::Lit::pos(pair_var(n, x, y))});
+  }
+  for (const auto& [x, y] : p.forbidden) {
+    cnf.clauses.push_back({sat::Lit::neg(pair_var(n, x, y))});
+  }
+  for (const auto& d : p.disjunctions) {
+    cnf.clauses.push_back(
+        {sat::Lit::pos(pair_var(n, d.first.first, d.first.second)),
+         sat::Lit::pos(pair_var(n, d.second.first, d.second.second))});
+  }
+  return cnf;
+}
+
+bool hb_satisfiable(const HbProblem& p, Engine engine) {
+  if (p.infeasible) return false;
+  if (engine == Engine::Sat) return sat_engine(p, nullptr);
+  return ExplicitSearch(p).run(nullptr);
+}
+
+bool hb_satisfiable_witness(const HbProblem& p, Engine engine,
+                            std::vector<EventId>& order) {
+  if (p.infeasible) return false;
+  if (engine == Engine::Sat) return sat_engine(p, &order);
+  return ExplicitSearch(p).run(&order);
+}
+
+bool is_allowed(const Analysis& analysis, const MemoryModel& model,
+                const Outcome& outcome, Engine engine) {
+  for (const RfMap& rf : enumerate_read_from(analysis, outcome)) {
+    const HbProblem p = build_hb_problem(analysis, model, rf);
+    if (hb_satisfiable(p, engine)) return true;
+  }
+  return false;
+}
+
+CheckResult check(const Analysis& analysis, const MemoryModel& model,
+                  const Outcome& outcome, Engine engine) {
+  CheckResult result;
+  for (const RfMap& rf : enumerate_read_from(analysis, outcome)) {
+    const HbProblem p = build_hb_problem(analysis, model, rf);
+    std::vector<EventId> order;
+    if (hb_satisfiable_witness(p, engine, order)) {
+      result.allowed = true;
+      result.rf = rf;
+      result.order = std::move(order);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace mcmc::core

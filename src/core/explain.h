@@ -1,0 +1,45 @@
+// Human-readable explanations of forbidden outcomes.
+//
+// When an outcome is forbidden, every read-from candidate fails; for each
+// one this module reports why: either the read-from map itself is
+// infeasible (a read of the initial value would skip its own thread's
+// earlier write) or the forced happens-before edges already close a
+// cycle, which is printed edge by edge with the axiom that produced it.
+// Failures that only materialize through the write-write / from-read
+// disjunctions are summarized (every orientation closes some cycle).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/model.h"
+#include "core/outcome.h"
+#include "core/readfrom.h"
+
+namespace mcmc::core {
+
+/// Explanation for one read-from candidate.
+struct RfExplanation {
+  RfMap rf;
+  /// One line per forced-cycle edge, e.g.
+  /// "T1: Write X <- 1  =>  T2: Read X -> r1   [read-from]";
+  /// empty if the failure is disjunction-driven or rf-infeasible.
+  std::vector<std::string> forced_cycle;
+  std::string summary;  ///< always set
+};
+
+/// Full explanation of a forbidden outcome.
+struct ForbiddenExplanation {
+  bool actually_allowed = false;  ///< outcome was allowed after all
+  std::vector<RfExplanation> candidates;
+};
+
+/// Explains why (analysis, model, outcome) is forbidden.  If the outcome
+/// is in fact allowed, `actually_allowed` is set and candidates are left
+/// empty.
+[[nodiscard]] ForbiddenExplanation explain_forbidden(const Analysis& analysis,
+                                                     const MemoryModel& model,
+                                                     const Outcome& outcome);
+
+}  // namespace mcmc::core

@@ -1,0 +1,206 @@
+#include "core/formula.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace mcmc::core {
+
+struct Formula::Node {
+  enum class Kind { Atom, And, Or };
+  Kind kind = Kind::Atom;
+  Atom atom = Atom::False;
+  std::string custom_name;
+  CustomPredicate custom_pred;
+  std::vector<std::shared_ptr<const Node>> children;
+};
+
+Formula Formula::constant(bool value) {
+  auto n = std::make_shared<Node>();
+  n->atom = value ? Atom::True : Atom::False;
+  return Formula(std::move(n));
+}
+
+Formula Formula::atom(Atom a) {
+  MCMC_REQUIRE_MSG(a != Atom::Custom, "use Formula::custom for custom atoms");
+  auto n = std::make_shared<Node>();
+  n->atom = a;
+  return Formula(std::move(n));
+}
+
+Formula Formula::custom(std::string name, CustomPredicate pred) {
+  MCMC_REQUIRE(pred != nullptr);
+  auto n = std::make_shared<Node>();
+  n->atom = Atom::Custom;
+  n->custom_name = std::move(name);
+  n->custom_pred = std::move(pred);
+  return Formula(std::move(n));
+}
+
+Formula Formula::conj(std::vector<Formula> operands) {
+  MCMC_REQUIRE(!operands.empty());
+  if (operands.size() == 1) return operands[0];
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::And;
+  for (auto& f : operands) n->children.push_back(f.node_);
+  return Formula(std::move(n));
+}
+
+Formula Formula::disj(std::vector<Formula> operands) {
+  MCMC_REQUIRE(!operands.empty());
+  if (operands.size() == 1) return operands[0];
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Or;
+  for (auto& f : operands) n->children.push_back(f.node_);
+  return Formula(std::move(n));
+}
+
+namespace {
+
+bool eval_atom(Atom a, const std::string&, const CustomPredicate& pred,
+               const Analysis& an, EventId x, EventId y) {
+  switch (a) {
+    case Atom::True:
+      return true;
+    case Atom::False:
+      return false;
+    case Atom::ReadX:
+      return an.is_read(x);
+    case Atom::ReadY:
+      return an.is_read(y);
+    case Atom::WriteX:
+      return an.is_write(x);
+    case Atom::WriteY:
+      return an.is_write(y);
+    case Atom::FenceX:
+      return an.is_fence(x);
+    case Atom::FenceY:
+      return an.is_fence(y);
+    case Atom::SameAddr:
+      return an.same_addr(x, y);
+    case Atom::DataDep:
+      return an.data_dep(x, y);
+    case Atom::ControlDep:
+      return an.ctrl_dep(x, y);
+    case Atom::Custom:
+      return pred(an, x, y);
+  }
+  MCMC_UNREACHABLE("bad atom");
+}
+
+}  // namespace
+
+struct FormulaEval;  // (placeholder to keep clang-format stable)
+
+bool Formula::eval(const Analysis& analysis, EventId x, EventId y) const {
+  struct Rec {
+    static bool go(const Node& n, const Analysis& an, EventId x, EventId y) {
+      switch (n.kind) {
+        case Node::Kind::Atom:
+          return eval_atom(n.atom, n.custom_name, n.custom_pred, an, x, y);
+        case Node::Kind::And:
+          for (const auto& c : n.children) {
+            if (!go(*c, an, x, y)) return false;
+          }
+          return true;
+        case Node::Kind::Or:
+          for (const auto& c : n.children) {
+            if (go(*c, an, x, y)) return true;
+          }
+          return false;
+      }
+      MCMC_UNREACHABLE("bad node kind");
+    }
+  };
+  return Rec::go(*node_, analysis, x, y);
+}
+
+bool Formula::is_false() const {
+  return node_->kind == Node::Kind::Atom && node_->atom == Atom::False;
+}
+
+namespace {
+
+std::string atom_name(Atom a, const std::string& custom_name) {
+  switch (a) {
+    case Atom::True:
+      return "true";
+    case Atom::False:
+      return "false";
+    case Atom::ReadX:
+      return "Read(x)";
+    case Atom::ReadY:
+      return "Read(y)";
+    case Atom::WriteX:
+      return "Write(x)";
+    case Atom::WriteY:
+      return "Write(y)";
+    case Atom::FenceX:
+      return "Fence(x)";
+    case Atom::FenceY:
+      return "Fence(y)";
+    case Atom::SameAddr:
+      return "SameAddr(x,y)";
+    case Atom::DataDep:
+      return "DataDep(x,y)";
+    case Atom::ControlDep:
+      return "ControlDep(x,y)";
+    case Atom::Custom:
+      return custom_name + "(x,y)";
+  }
+  MCMC_UNREACHABLE("bad atom");
+}
+
+}  // namespace
+
+std::string Formula::to_string() const {
+  // Parenthesize whenever a connective nests inside a different one, so
+  // the rendering never relies on precedence conventions.
+  struct Rec {
+    static std::string go(const Node& n, Node::Kind parent) {
+      switch (n.kind) {
+        case Node::Kind::Atom:
+          return atom_name(n.atom, n.custom_name);
+        case Node::Kind::And: {
+          std::vector<std::string> parts;
+          for (const auto& c : n.children) {
+            parts.push_back(go(*c, Node::Kind::And));
+          }
+          const std::string s = util::join(parts, " & ");
+          return parent == Node::Kind::Or ? "(" + s + ")" : s;
+        }
+        case Node::Kind::Or: {
+          std::vector<std::string> parts;
+          for (const auto& c : n.children) {
+            parts.push_back(go(*c, Node::Kind::Or));
+          }
+          const std::string s = util::join(parts, " | ");
+          return parent == Node::Kind::And ? "(" + s + ")" : s;
+        }
+      }
+      MCMC_UNREACHABLE("bad node kind");
+    }
+  };
+  return Rec::go(*node_, Node::Kind::Atom);
+}
+
+Formula operator&&(const Formula& a, const Formula& b) {
+  return Formula::conj({a, b});
+}
+
+Formula operator||(const Formula& a, const Formula& b) {
+  return Formula::disj({a, b});
+}
+
+Formula f_true() { return Formula::constant(true); }
+Formula f_false() { return Formula::constant(false); }
+Formula read_x() { return Formula::atom(Atom::ReadX); }
+Formula read_y() { return Formula::atom(Atom::ReadY); }
+Formula write_x() { return Formula::atom(Atom::WriteX); }
+Formula write_y() { return Formula::atom(Atom::WriteY); }
+Formula fence_x() { return Formula::atom(Atom::FenceX); }
+Formula fence_y() { return Formula::atom(Atom::FenceY); }
+Formula same_addr() { return Formula::atom(Atom::SameAddr); }
+Formula data_dep() { return Formula::atom(Atom::DataDep); }
+Formula ctrl_dep() { return Formula::atom(Atom::ControlDep); }
+
+}  // namespace mcmc::core

@@ -1,0 +1,70 @@
+// Happens-before constraint generation (Section 2.2).
+//
+// Given an analyzed program, a must-not-reorder function F, and a
+// read-from map, the paper's axioms induce constraints on a candidate
+// happens-before partial order `=>`:
+//
+//   Program order   F(x,y) and x <po y           =>  x => y        (forced)
+//   Write-write     writes x,y to one address    =>  x=>y or y=>x  (choice;
+//                                                    forced forward when
+//                                                    same-thread)
+//   Write-read      x |-> y across threads       =>  x => y        (forced)
+//   Read-write      read x, write y to x's addr,
+//                   y not x's source             =>  x=>y or y=>rf(x)
+//                                                    (see hb.cpp for the
+//                                                    initial-value and
+//                                                    local-write cases)
+//   Ignore local    restricts generated edges to never point backward
+//                   within a thread (see the note in hb.cpp)
+//
+// The execution is allowed iff some acyclic relation satisfies all of
+// them.  `HbProblem` is the engine-independent form of these constraints;
+// the two deciding engines live in checker.cpp.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/model.h"
+#include "core/readfrom.h"
+
+namespace mcmc::core {
+
+/// An ordered-pair constraint `first => second`.
+using Edge = std::pair<EventId, EventId>;
+
+/// "HB(a,b) or HB(c,d)" — exactly the shape produced by the write-write
+/// and read-write axioms.
+struct EdgeDisjunction {
+  Edge first;
+  Edge second;
+};
+
+/// Which axiom produced a forced edge (used by explanations).
+enum class EdgeOrigin {
+  ProgramOrder,   ///< F(x,y) with x <po y
+  Coherence,      ///< same-thread same-address write pair
+  ReadFrom,       ///< cross-thread rf
+  FromRead,       ///< read of the initial value before a write
+  CoherenceEscape ///< skipped local write ordered before the read's source
+};
+
+[[nodiscard]] const char* to_string(EdgeOrigin origin);
+
+/// Engine-independent happens-before constraint set.
+struct HbProblem {
+  int num_events = 0;
+  bool infeasible = false;                   ///< rf contradicts coherence
+  std::vector<Edge> forced;                  ///< must be in =>
+  std::vector<EdgeOrigin> forced_origin;     ///< parallel to `forced`
+  std::vector<Edge> forbidden;               ///< must NOT be in =>
+  std::vector<EdgeDisjunction> disjunctions; ///< at least one must hold
+};
+
+/// Instantiates the five axioms for (analysis, model, rf).
+[[nodiscard]] HbProblem build_hb_problem(const Analysis& analysis,
+                                         const MemoryModel& model,
+                                         const RfMap& rf);
+
+}  // namespace mcmc::core

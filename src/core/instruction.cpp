@@ -1,0 +1,49 @@
+#include "core/instruction.h"
+
+#include "util/check.h"
+
+namespace mcmc::core {
+
+std::string loc_name(Loc loc) {
+  MCMC_REQUIRE(loc >= 0);
+  static const char* kNames[] = {"X", "Y", "Z", "W"};
+  if (loc < 4) return kNames[loc];
+  return "A" + std::to_string(loc);
+}
+
+std::string reg_name(Reg reg) {
+  MCMC_REQUIRE(reg >= 0);
+  return "r" + std::to_string(reg);
+}
+
+std::string to_string(const Instruction& i, bool value_is_loc) {
+  switch (i.op) {
+    case Op::Read: {
+      const std::string addr = (i.addr_reg >= 0)
+                                   ? "[" + reg_name(i.addr_reg) + "]"
+                                   : loc_name(i.loc);
+      return "Read " + addr + " -> " + reg_name(i.dst);
+    }
+    case Op::Write: {
+      const std::string addr = (i.addr_reg >= 0)
+                                   ? "[" + reg_name(i.addr_reg) + "]"
+                                   : loc_name(i.loc);
+      const std::string val =
+          i.value_from_reg ? reg_name(i.src) : std::to_string(i.value);
+      return "Write " + addr + " <- " + val;
+    }
+    case Op::Fence:
+      return "Fence";
+    case Op::DepConst: {
+      const std::string c =
+          value_is_loc ? loc_name(i.value) : std::to_string(i.value);
+      return reg_name(i.dst) + " = " + reg_name(i.src) + "-" +
+             reg_name(i.src) + "+" + c;
+    }
+    case Op::Branch:
+      return "Branch " + reg_name(i.src);
+  }
+  MCMC_UNREACHABLE("bad opcode");
+}
+
+}  // namespace mcmc::core

@@ -1,0 +1,146 @@
+// Instruction IR for litmus-test programs.
+//
+// The paper's class of memory models (Section 2) distinguishes memory
+// access instructions (reads and writes) from everything else (fences,
+// arithmetic, branches).  This IR carries exactly the structure the
+// paper's predicates need:
+//
+//   Read     loads from a location into a destination register,
+//   Write    stores an immediate (or register-derived) value,
+//   Fence    a full memory fence,
+//   DepConst the paper's dependency idiom `t = r - r + c`: the value is the
+//            constant `c` no matter what `r` holds, but a data dependency
+//            on `r` is real.  Used to build data-dependent addresses and
+//            store values (tests L4, L6, L8, L9 in Figure 3),
+//   Branch   a conditional branch marker whose condition is a register;
+//            instructions after it are control-dependent on whatever the
+//            condition register depends on.
+//
+// Static-resolvability restriction: addresses and written values must be
+// statically determined (immediates or DepConst chains).  Only the values
+// *loaded by reads* vary between executions.  Every litmus test in the
+// paper (and every test the bounded-test theorem needs) has this shape; it
+// is what makes outcome-constrained read-from enumeration finite and
+// cheap.
+#pragma once
+
+#include <string>
+
+namespace mcmc::core {
+
+/// Instruction opcode.
+enum class Op { Read, Write, Fence, DepConst, Branch };
+
+/// Symbolic memory location index (0 = "X", 1 = "Y", ...).
+using Loc = int;
+
+/// Register index, unique across the whole program (SSA-style).
+using Reg = int;
+
+constexpr int kNoReg = -1;
+constexpr int kNoLoc = -1;
+
+/// One instruction.  Use the factory functions below instead of aggregate
+/// initialization; they keep the unused fields in their inert state.
+struct Instruction {
+  Op op = Op::Fence;
+
+  Loc loc = kNoLoc;       ///< direct address for Read/Write (if addr_reg < 0)
+  Reg addr_reg = kNoReg;  ///< indirect address register for Read/Write
+  Reg dst = kNoReg;       ///< defined register (Read, DepConst)
+  Reg src = kNoReg;       ///< consumed register (DepConst, Branch,
+                          ///<   Write with value_from_reg)
+  int value = 0;          ///< immediate: stored value (Write), constant
+                          ///<   (DepConst, where it may encode a location)
+  bool value_from_reg = false;  ///< Write takes its value from `src`
+
+  [[nodiscard]] bool is_memory_access() const {
+    return op == Op::Read || op == Op::Write;
+  }
+};
+
+/// `Read loc -> r dst`
+[[nodiscard]] inline Instruction make_read(Loc loc, Reg dst) {
+  Instruction i;
+  i.op = Op::Read;
+  i.loc = loc;
+  i.dst = dst;
+  return i;
+}
+
+/// `Read [addr_reg] -> r dst` (register-indirect address)
+[[nodiscard]] inline Instruction make_read_indirect(Reg addr_reg, Reg dst) {
+  Instruction i;
+  i.op = Op::Read;
+  i.addr_reg = addr_reg;
+  i.dst = dst;
+  return i;
+}
+
+/// `Write loc <- value`
+[[nodiscard]] inline Instruction make_write(Loc loc, int value) {
+  Instruction i;
+  i.op = Op::Write;
+  i.loc = loc;
+  i.value = value;
+  return i;
+}
+
+/// `Write loc <- r src` (value from a register; must be statically
+/// resolvable, i.e. DepConst-defined)
+[[nodiscard]] inline Instruction make_write_from_reg(Loc loc, Reg src) {
+  Instruction i;
+  i.op = Op::Write;
+  i.loc = loc;
+  i.src = src;
+  i.value_from_reg = true;
+  return i;
+}
+
+/// `Write [addr_reg] <- value` (register-indirect address)
+[[nodiscard]] inline Instruction make_write_indirect(Reg addr_reg, int value) {
+  Instruction i;
+  i.op = Op::Write;
+  i.addr_reg = addr_reg;
+  i.value = value;
+  return i;
+}
+
+/// Full memory fence.
+[[nodiscard]] inline Instruction make_fence() {
+  Instruction i;
+  i.op = Op::Fence;
+  return i;
+}
+
+/// `r dst = r src - r src + value` — the dependency idiom.
+[[nodiscard]] inline Instruction make_dep_const(Reg dst, Reg src, int value) {
+  Instruction i;
+  i.op = Op::DepConst;
+  i.dst = dst;
+  i.src = src;
+  i.value = value;
+  return i;
+}
+
+/// Conditional branch on `src` (target irrelevant for litmus purposes).
+[[nodiscard]] inline Instruction make_branch(Reg src) {
+  Instruction i;
+  i.op = Op::Branch;
+  i.src = src;
+  return i;
+}
+
+/// Human-readable location name: X, Y, Z, W, A5, A6, ...
+[[nodiscard]] std::string loc_name(Loc loc);
+
+/// Human-readable register name: r0, r1, ...
+[[nodiscard]] std::string reg_name(Reg reg);
+
+/// Renders one instruction, e.g. "Write X <- 1" or "r2 = r1-r1+Y".
+/// `value_is_loc` tells the printer to render DepConst constants as
+/// location names (used when the register feeds an address).
+[[nodiscard]] std::string to_string(const Instruction& instr,
+                                    bool value_is_loc = false);
+
+}  // namespace mcmc::core

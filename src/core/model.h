@@ -1,0 +1,37 @@
+// Memory models as must-not-reorder functions (Section 2.2).
+//
+// A model in the paper's class is fully determined by its must-not-reorder
+// function F(x, y); the happens-before axioms are shared by the whole
+// class.  `MemoryModel` pairs a printable name with the formula.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/analysis.h"
+#include "core/formula.h"
+
+namespace mcmc::core {
+
+/// A named memory model in the paper's class.
+class MemoryModel {
+ public:
+  MemoryModel(std::string name, Formula must_not_reorder)
+      : name_(std::move(name)), f_(std::move(must_not_reorder)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Formula& formula() const { return f_; }
+
+  /// F(x, y): true iff x and y must execute in program order.  Defined for
+  /// pairs with po(x, y).
+  [[nodiscard]] bool must_not_reorder(const Analysis& analysis, EventId x,
+                                      EventId y) const {
+    return f_.eval(analysis, x, y);
+  }
+
+ private:
+  std::string name_;
+  Formula f_;
+};
+
+}  // namespace mcmc::core

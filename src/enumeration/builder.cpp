@@ -1,0 +1,64 @@
+#include "enumeration/builder.h"
+
+#include "util/check.h"
+
+namespace mcmc::enumeration {
+
+TestBuilder::TestBuilder(int num_threads) {
+  MCMC_REQUIRE(num_threads >= 1);
+  for (int t = 0; t < num_threads; ++t) program_.add_thread({});
+}
+
+int TestBuilder::fresh_value(core::Loc loc) {
+  MCMC_REQUIRE(loc >= 0);
+  if (static_cast<std::size_t>(loc) >= next_value_.size()) {
+    next_value_.resize(static_cast<std::size_t>(loc) + 1, 1);
+  }
+  return next_value_[static_cast<std::size_t>(loc)]++;
+}
+
+int TestBuilder::write(int thread, core::Loc loc) {
+  const int v = fresh_value(loc);
+  program_.mutable_thread(thread).push_back(core::make_write(loc, v));
+  return v;
+}
+
+core::Reg TestBuilder::read(int thread, core::Loc loc) {
+  const core::Reg r = next_reg_++;
+  program_.mutable_thread(thread).push_back(core::make_read(loc, r));
+  return r;
+}
+
+void TestBuilder::fence(int thread) {
+  program_.mutable_thread(thread).push_back(core::make_fence());
+}
+
+core::Reg TestBuilder::dep_read(int thread, core::Reg src, core::Loc loc) {
+  const core::Reg t = next_reg_++;
+  const core::Reg r = next_reg_++;
+  auto& th = program_.mutable_thread(thread);
+  th.push_back(core::make_dep_const(t, src, loc));
+  th.push_back(core::make_read_indirect(t, r));
+  return r;
+}
+
+int TestBuilder::dep_write(int thread, core::Reg src, core::Loc loc) {
+  const int v = fresh_value(loc);
+  const core::Reg t = next_reg_++;
+  auto& th = program_.mutable_thread(thread);
+  th.push_back(core::make_dep_const(t, src, v));
+  th.push_back(core::make_write_from_reg(loc, t));
+  return v;
+}
+
+void TestBuilder::expect(core::Reg reg, int value) {
+  outcome_.require(reg, value);
+}
+
+litmus::LitmusTest TestBuilder::build(const std::string& name,
+                                      const std::string& description) && {
+  return litmus::LitmusTest(name, std::move(program_), std::move(outcome_),
+                            description);
+}
+
+}  // namespace mcmc::enumeration

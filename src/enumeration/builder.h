@@ -1,0 +1,56 @@
+// Incremental litmus-test construction used by the template instantiator.
+//
+// The builder owns the value conventions the paper's tests follow: every
+// write to a given address stores a fresh nonzero constant (so outcomes
+// pin read-from maps), registers are allocated sequentially, and the
+// dependency idiom is the canonical `t = r - r + c`.
+#pragma once
+
+#include <string>
+
+#include "core/instruction.h"
+#include "core/outcome.h"
+#include "core/program.h"
+#include "litmus/test.h"
+
+namespace mcmc::enumeration {
+
+/// Builds a multi-threaded litmus test step by step.
+class TestBuilder {
+ public:
+  explicit TestBuilder(int num_threads);
+
+  /// Appends `Write loc <- v` with a fresh per-address value; returns v.
+  int write(int thread, core::Loc loc);
+
+  /// Appends `Read loc -> r` with a fresh register; returns r.
+  core::Reg read(int thread, core::Loc loc);
+
+  /// Appends a full fence.
+  void fence(int thread);
+
+  /// Appends `t = src-src+loc ; Read [t] -> r` (address-dependent read);
+  /// returns r.
+  core::Reg dep_read(int thread, core::Reg src, core::Loc loc);
+
+  /// Appends `t = src-src+v ; Write loc <- t` with a fresh per-address
+  /// value v (value-dependent write); returns v.
+  int dep_write(int thread, core::Reg src, core::Loc loc);
+
+  /// Constrains register `reg` to `value` in the outcome.
+  void expect(core::Reg reg, int value);
+
+  /// Finalizes into a named test.
+  [[nodiscard]] litmus::LitmusTest build(const std::string& name,
+                                         const std::string& description) &&;
+
+ private:
+  int fresh_value(core::Loc loc);
+
+  core::Program program_;
+  core::Outcome outcome_;
+  core::Reg next_reg_ = 0;
+  std::vector<int> next_value_;  // per location, starting at 1
+};
+
+}  // namespace mcmc::enumeration

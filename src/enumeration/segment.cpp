@@ -1,0 +1,52 @@
+#include "enumeration/segment.h"
+
+#include "util/check.h"
+
+namespace mcmc::enumeration {
+
+std::string Segment::to_string() const {
+  std::string out;
+  switch (type) {
+    case SegType::RR:
+      out = "RR";
+      break;
+    case SegType::RW:
+      out = "RW";
+      break;
+    case SegType::WR:
+      out = "WR";
+      break;
+    case SegType::WW:
+      out = "WW";
+      break;
+  }
+  out += same_addr ? "/same" : "/diff";
+  switch (interior) {
+    case Interior::None:
+      break;
+    case Interior::Fence:
+      out += "/fence";
+      break;
+    case Interior::Dep:
+      out += "/dep";
+      break;
+  }
+  return out;
+}
+
+std::vector<Segment> segments_of_type(SegType type, bool with_deps) {
+  std::vector<Segment> out;
+  const bool read_first = type == SegType::RR || type == SegType::RW;
+  for (const bool same : {false, true}) {
+    out.push_back({type, same, Interior::None});
+    out.push_back({type, same, Interior::Fence});
+    if (with_deps && read_first) out.push_back({type, same, Interior::Dep});
+  }
+  return out;
+}
+
+int segment_count(SegType type, bool with_deps) {
+  return static_cast<int>(segments_of_type(type, with_deps).size());
+}
+
+}  // namespace mcmc::enumeration

@@ -1,0 +1,234 @@
+#include "enumeration/templates.h"
+
+#include "enumeration/builder.h"
+#include "util/check.h"
+
+namespace mcmc::enumeration {
+
+namespace {
+
+using core::Loc;
+using core::Reg;
+
+constexpr Loc A = 0;
+constexpr Loc B = 1;
+
+/// Emits the tail of a read-first segment after its first read: interior
+/// plus the closing read.  Returns the closing read's register.
+Reg close_with_read(TestBuilder& b, int t, const Segment& seg, Reg first,
+                    Loc loc) {
+  switch (seg.interior) {
+    case Interior::None:
+      return b.read(t, loc);
+    case Interior::Fence:
+      b.fence(t);
+      return b.read(t, loc);
+    case Interior::Dep:
+      return b.dep_read(t, first, loc);
+  }
+  MCMC_UNREACHABLE("bad interior");
+}
+
+/// Emits the tail of a read-first segment after its first read: interior
+/// plus the closing write.  Returns the value written.
+int close_with_write(TestBuilder& b, int t, const Segment& seg, Reg first,
+                     Loc loc) {
+  switch (seg.interior) {
+    case Interior::None:
+      return b.write(t, loc);
+    case Interior::Fence:
+      b.fence(t);
+      return b.write(t, loc);
+    case Interior::Dep:
+      return b.dep_write(t, first, loc);
+  }
+  MCMC_UNREACHABLE("bad interior");
+}
+
+/// Emits the interior of a write-first segment (no dependency possible).
+void write_first_interior(TestBuilder& b, int t, const Segment& seg) {
+  MCMC_CHECK(seg.interior != Interior::Dep);
+  if (seg.interior == Interior::Fence) b.fence(t);
+}
+
+std::string name_of(const char* tmpl, std::initializer_list<Segment> segs) {
+  std::string out = tmpl;
+  for (const auto& s : segs) out += "[" + s.to_string() + "]";
+  return out;
+}
+
+}  // namespace
+
+std::optional<litmus::LitmusTest> case1(const Segment& rw) {
+  MCMC_REQUIRE(rw.type == SegType::RW);
+  // T0: R a -> r0 ; int ; W b      with b == a iff same_addr
+  // T1: R b -> r1 ; int ; W a      (mirror)
+  // Cycle: r0 reads T1's write, r1 reads T0's write (LB shape).
+  const Loc a = A;
+  const Loc b = rw.same_addr ? A : B;
+  TestBuilder t(2);
+  const Reg r0 = t.read(0, a);
+  const int v0 = close_with_write(t, 0, rw, r0, b);
+  const Reg r1 = t.read(1, b);
+  const int v1 = close_with_write(t, 1, rw, r1, a);
+  t.expect(r0, v1);
+  t.expect(r1, v0);
+  return std::move(t).build(name_of("C1", {rw}),
+                            "read-write critical segment (Case 1)");
+}
+
+std::optional<litmus::LitmusTest> case2(const Segment& ww) {
+  MCMC_REQUIRE(ww.type == SegType::WW);
+  // T0: W a ; int ; W b ; R b -> r0   expecting T1's first write
+  // T1: W b ; int ; W a ; R a -> r1   expecting T0's first write
+  const Loc a = A;
+  const Loc b = ww.same_addr ? A : B;
+  TestBuilder t(2);
+  const int v_a0 = t.write(0, a);
+  write_first_interior(t, 0, ww);
+  t.write(0, b);
+  const int v_b1 = t.write(1, b);
+  write_first_interior(t, 1, ww);
+  t.write(1, a);
+  const Reg r0 = t.read(0, b);
+  const Reg r1 = t.read(1, a);
+  t.expect(r0, v_b1);
+  t.expect(r1, v_a0);
+  return std::move(t).build(name_of("C2", {ww}),
+                            "write-write critical segment (Case 2)");
+}
+
+std::optional<litmus::LitmusTest> case3a(const Segment& rr,
+                                         const Segment& ww) {
+  MCMC_REQUIRE(rr.type == SegType::RR && ww.type == SegType::WW);
+  // T0 (writer): W a ; int ; W b
+  // T1 (reader): R b -> r0 (sees T0's second write) ; int ; R a -> r1 (0)
+  // The reader's addresses are (b, a), so rr.same must match ww.same.
+  if (rr.same_addr != ww.same_addr) return std::nullopt;
+  const Loc a = A;
+  const Loc b = ww.same_addr ? A : B;
+  TestBuilder t(2);
+  t.write(0, a);
+  write_first_interior(t, 0, ww);
+  const int v2 = t.write(0, b);
+  const Reg r0 = t.read(1, b);
+  const Reg r1 = close_with_read(t, 1, rr, r0, a);
+  t.expect(r0, v2);
+  t.expect(r1, 0);
+  return std::move(t).build(name_of("C3a", {rr, ww}),
+                            "read-read against write-write (Case 3a)");
+}
+
+std::optional<litmus::LitmusTest> case3b(const Segment& rr, const Segment& wr,
+                                         const Segment& rw) {
+  MCMC_REQUIRE(rr.type == SegType::RR && wr.type == SegType::WR &&
+               rw.type == SegType::RW);
+  // T0 (merged writer): W a ; wr-int ; R m -> rg ; rw-int ; W b2
+  // T1 (reader):        R b2 -> r0 (sees W b2) ; rr-int ; R a -> r1 (0)
+  // Address constraints: wr.same <=> m == a; rw.same <=> b2 == m;
+  // rr.same <=> b2 == a.  Assign a = A, then m and b2, and reject
+  // inconsistent flag combinations.
+  const Loc a = A;
+  const Loc m = wr.same_addr ? a : B;
+  Loc b2 = 0;
+  if (rw.same_addr) {
+    b2 = m;
+  } else if (rr.same_addr) {
+    b2 = a;
+  } else {
+    // b2 must differ from both m and a.
+    b2 = (m == B) ? 2 : B;
+  }
+  const bool consistent = ((m == a) == wr.same_addr) &&
+                          ((b2 == m) == rw.same_addr) &&
+                          ((b2 == a) == rr.same_addr);
+  if (!consistent) return std::nullopt;
+
+  TestBuilder t(2);
+  const int v1 = t.write(0, a);
+  write_first_interior(t, 0, wr);
+  const Reg rg = t.read(0, m);
+  const int v2 = close_with_write(t, 0, rw, rg, b2);
+  const Reg r0 = t.read(1, b2);
+  const Reg r1 = close_with_read(t, 1, rr, r0, a);
+  // The glue read sees the local write when m == a, the initial value
+  // otherwise (when b2 == m the write to m comes after the glue read).
+  t.expect(rg, wr.same_addr ? v1 : 0);
+  t.expect(r0, v2);
+  t.expect(r1, 0);
+  return std::move(t).build(
+      name_of("C3b", {rr, wr, rw}),
+      "read-read against merged write-read + read-write (Case 3b)");
+}
+
+std::optional<litmus::LitmusTest> case4(const Segment& wr) {
+  MCMC_REQUIRE(wr.type == SegType::WR);
+  // Only the different-address shape (same-address is Case 5).
+  if (wr.same_addr) return std::nullopt;
+  TestBuilder t(2);
+  t.write(0, A);
+  write_first_interior(t, 0, wr);
+  const Reg r0 = t.read(0, B);
+  t.write(1, B);
+  write_first_interior(t, 1, wr);
+  const Reg r1 = t.read(1, A);
+  t.expect(r0, 0);
+  t.expect(r1, 0);
+  return std::move(t).build(name_of("C4", {wr}),
+                            "write-read critical segment, different "
+                            "addresses (Case 4, SB)");
+}
+
+std::optional<litmus::LitmusTest> case5a(const Segment& wr,
+                                         const Segment& rr) {
+  MCMC_REQUIRE(wr.type == SegType::WR && rr.type == SegType::RR);
+  // Same-address critical segment continued by a read-read segment to a
+  // different address, mirrored (the L8 shape).
+  if (!wr.same_addr || rr.same_addr) return std::nullopt;
+  TestBuilder t(2);
+  const int v0 = t.write(0, A);
+  write_first_interior(t, 0, wr);
+  const Reg r0 = t.read(0, A);
+  const Reg r1 = close_with_read(t, 0, rr, r0, B);
+  const int v1 = t.write(1, B);
+  write_first_interior(t, 1, wr);
+  const Reg r2 = t.read(1, B);
+  const Reg r3 = close_with_read(t, 1, rr, r2, A);
+  t.expect(r0, v0);
+  t.expect(r1, 0);
+  t.expect(r2, v1);
+  t.expect(r3, 0);
+  return std::move(t).build(name_of("C5a", {wr, rr}),
+                            "same-address write-read continued by "
+                            "read-read (Case 5a, L8 shape)");
+}
+
+std::optional<litmus::LitmusTest> case5b(const Segment& wr,
+                                         const Segment& rw) {
+  MCMC_REQUIRE(wr.type == SegType::WR && rw.type == SegType::RW);
+  // Same-address critical segment merged with a read-write segment into a
+  // write-write chain; the read-write segment is copied to the other
+  // thread and an observer read closes the cycle (the L9 shape).
+  //
+  // A same-address read-write continuation is geometrically useless: the
+  // copied segment in T1 is R a ; W a, and the observer read's coherence
+  // escape then forces a cycle through T1's own write regardless of the
+  // model, so no model pair is ever distinguished.  We skip it.
+  if (!wr.same_addr || rw.same_addr) return std::nullopt;
+  TestBuilder t(2);
+  const int v1 = t.write(0, A);
+  write_first_interior(t, 0, wr);
+  const Reg r0 = t.read(0, A);
+  const int v2 = close_with_write(t, 0, rw, r0, B);
+  const Reg r1 = t.read(1, B);
+  close_with_write(t, 1, rw, r1, A);
+  const Reg r2 = t.read(1, A);
+  t.expect(r0, v1);
+  t.expect(r1, v2);
+  t.expect(r2, v1);  // forces T1's write to A before T0's write to A
+  return std::move(t).build(name_of("C5b", {wr, rw}),
+                            "same-address write-read continued by "
+                            "read-write (Case 5b, L9 shape)");
+}
+
+}  // namespace mcmc::enumeration

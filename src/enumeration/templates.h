@@ -1,0 +1,45 @@
+// The seven litmus-test templates of Figure 2 (Section 3.2's five cases,
+// with Cases 3 and 5 each split in two).
+//
+// Each template takes local segments and produces a two-thread test with
+// at most six memory accesses whose candidate outcome traces exactly the
+// conflict cycle of the Theorem-1 proof.  Templates return std::nullopt
+// for address-incompatible segment combinations (the Corollary-1 formula
+// counts these combinations anyway — it is an upper bound; see suite.h).
+//
+// Case index -> construction:
+//   1  read-write critical segment, mirrored across two threads (LB-like)
+//   2  write-write critical segment, mirrored, plus two observer reads
+//   3a read-read critical segment against a write-write segment (MP-like)
+//   3b read-read critical segment against a merged write-read + read-write
+//      segment
+//   4  write-read critical segment to different addresses, mirrored (SB)
+//   5a write-read critical segment to the same address, continued by a
+//      read-read segment to a different address, mirrored (L8)
+//   5b write-read critical segment to the same address, continued by a
+//      read-write segment, with the read-write segment copied to the other
+//      thread and an observer read appended (L9)
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "enumeration/segment.h"
+#include "litmus/test.h"
+
+namespace mcmc::enumeration {
+
+[[nodiscard]] std::optional<litmus::LitmusTest> case1(const Segment& rw);
+[[nodiscard]] std::optional<litmus::LitmusTest> case2(const Segment& ww);
+[[nodiscard]] std::optional<litmus::LitmusTest> case3a(const Segment& rr,
+                                                       const Segment& ww);
+[[nodiscard]] std::optional<litmus::LitmusTest> case3b(const Segment& rr,
+                                                       const Segment& wr,
+                                                       const Segment& rw);
+[[nodiscard]] std::optional<litmus::LitmusTest> case4(const Segment& wr);
+[[nodiscard]] std::optional<litmus::LitmusTest> case5a(const Segment& wr,
+                                                       const Segment& rr);
+[[nodiscard]] std::optional<litmus::LitmusTest> case5b(const Segment& wr,
+                                                       const Segment& rw);
+
+}  // namespace mcmc::enumeration

@@ -1,0 +1,238 @@
+#include "explore/cover.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "util/check.h"
+
+namespace mcmc::explore {
+
+namespace {
+
+/// Fixed-size bitset over the pair universe.
+class PairSet {
+ public:
+  explicit PairSet(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  void set(std::size_t i) { words_[i / 64] |= 1ULL << (i % 64); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1ULL;
+  }
+  PairSet& operator|=(const PairSet& o) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+    return *this;
+  }
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (const auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+  [[nodiscard]] std::size_t count_uncovered_in(const PairSet& universe) const {
+    std::size_t n = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      n += static_cast<std::size_t>(
+          __builtin_popcountll(universe.words_[w] & ~words_[w]));
+    }
+    return n;
+  }
+  [[nodiscard]] long long first_uncovered_in(const PairSet& universe) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      const std::uint64_t missing = universe.words_[w] & ~words_[w];
+      if (missing != 0) {
+        return static_cast<long long>(
+            w * 64 + static_cast<std::size_t>(__builtin_ctzll(missing)));
+      }
+    }
+    return -1;
+  }
+  friend bool operator==(const PairSet& a, const PairSet& b) {
+    return a.words_ == b.words_;
+  }
+  friend bool operator<(const PairSet& a, const PairSet& b) {
+    return a.words_ < b.words_;
+  }
+
+ private:
+  std::size_t bits_;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Coverage bitset of each test over `pairs`.
+std::vector<PairSet> coverage_sets(
+    const AdmissibilityMatrix& matrix,
+    const std::vector<std::pair<int, int>>& pairs) {
+  std::vector<PairSet> cov(static_cast<std::size_t>(matrix.num_tests()),
+                           PairSet(pairs.size()));
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const auto [a, b] = pairs[p];
+    for (int t = 0; t < matrix.num_tests(); ++t) {
+      if (matrix.allowed(a, t) != matrix.allowed(b, t)) {
+        cov[static_cast<std::size_t>(t)].set(p);
+      }
+    }
+  }
+  return cov;
+}
+
+}  // namespace
+
+std::vector<std::pair<int, int>> distinguishable_pairs(
+    const AdmissibilityMatrix& matrix) {
+  std::vector<std::pair<int, int>> pairs;
+  for (int a = 0; a < matrix.num_models(); ++a) {
+    for (int b = a + 1; b < matrix.num_models(); ++b) {
+      if (matrix.compare(a, b) != Relation::Equivalent) {
+        pairs.emplace_back(a, b);
+      }
+    }
+  }
+  return pairs;
+}
+
+bool covers_all(const AdmissibilityMatrix& matrix,
+                const std::vector<int>& candidate,
+                const std::vector<std::pair<int, int>>& pairs) {
+  for (const auto& [a, b] : pairs) {
+    bool covered = false;
+    for (const int t : candidate) {
+      if (matrix.allowed(a, t) != matrix.allowed(b, t)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+std::vector<int> greedy_cover(const AdmissibilityMatrix& matrix) {
+  const auto pairs = distinguishable_pairs(matrix);
+  const auto cov = coverage_sets(matrix, pairs);
+  PairSet universe(pairs.size());
+  for (std::size_t p = 0; p < pairs.size(); ++p) universe.set(p);
+
+  std::vector<int> chosen;
+  PairSet covered(pairs.size());
+  while (covered.count_uncovered_in(universe) > 0) {
+    int best = -1;
+    std::size_t best_gain = 0;
+    for (int t = 0; t < matrix.num_tests(); ++t) {
+      PairSet merged = covered;
+      merged |= cov[static_cast<std::size_t>(t)];
+      const std::size_t gain =
+          covered.count_uncovered_in(universe) -
+          merged.count_uncovered_in(universe);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = t;
+      }
+    }
+    MCMC_CHECK_MSG(best >= 0, "greedy cover stalled");
+    chosen.push_back(best);
+    covered |= cov[static_cast<std::size_t>(best)];
+  }
+  return chosen;
+}
+
+namespace {
+
+/// Branch-and-bound exact cover: branch over candidates covering the first
+/// uncovered pair.
+class ExactCover {
+ public:
+  ExactCover(std::vector<PairSet> cov, PairSet universe)
+      : cov_(std::move(cov)), universe_(std::move(universe)) {}
+
+  /// Searches for a cover strictly smaller than `bound`; returns the best
+  /// one found (by pool index), or an empty vector if `bound` is optimal.
+  std::vector<int> run(std::size_t bound) {
+    best_size_ = bound;
+    best_.clear();
+    PairSet covered(universe_.count());
+    std::vector<int> chosen;
+    dfs(covered, chosen);
+    return best_;
+  }
+
+ private:
+  void dfs(const PairSet& covered, std::vector<int>& chosen) {
+    const long long pair = covered.first_uncovered_in(universe_);
+    if (pair < 0) {
+      best_size_ = chosen.size();
+      best_ = chosen;
+      return;
+    }
+    if (chosen.size() + 1 >= best_size_) return;  // cannot improve
+    for (std::size_t t = 0; t < cov_.size(); ++t) {
+      if (!cov_[t].test(static_cast<std::size_t>(pair))) continue;
+      PairSet merged = covered;
+      merged |= cov_[t];
+      chosen.push_back(static_cast<int>(t));
+      dfs(merged, chosen);
+      chosen.pop_back();
+    }
+  }
+
+  std::vector<PairSet> cov_;
+  PairSet universe_;
+  std::size_t best_size_ = 0;
+  std::vector<int> best_;
+};
+
+}  // namespace
+
+std::vector<int> exact_minimum_cover(const AdmissibilityMatrix& matrix,
+                                     int max_pool) {
+  const auto pairs = distinguishable_pairs(matrix);
+  auto cov = coverage_sets(matrix, pairs);
+  PairSet universe(pairs.size());
+  for (std::size_t p = 0; p < pairs.size(); ++p) universe.set(p);
+
+  // Deduplicate tests with identical coverage signatures, keeping the
+  // first representative of each.
+  std::map<PairSet, int> signature_rep;
+  std::vector<int> pool;
+  std::vector<PairSet> pool_cov;
+  for (int t = 0; t < matrix.num_tests(); ++t) {
+    auto& sig = cov[static_cast<std::size_t>(t)];
+    if (sig.count() == 0) continue;
+    if (signature_rep.emplace(sig, t).second) {
+      pool.push_back(t);
+      pool_cov.push_back(sig);
+    }
+  }
+  // Rank by coverage so the branch explores dense tests first.
+  std::vector<std::size_t> order(pool.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return pool_cov[a].count() > pool_cov[b].count();
+  });
+  if (static_cast<int>(order.size()) > max_pool) {
+    order.resize(static_cast<std::size_t>(max_pool));
+  }
+  std::vector<int> ranked_pool;
+  std::vector<PairSet> ranked_cov;
+  for (const auto i : order) {
+    ranked_pool.push_back(pool[i]);
+    ranked_cov.push_back(pool_cov[i]);
+  }
+
+  // The greedy solution bounds the search; the exact search either finds
+  // something strictly smaller within the pool or confirms the greedy size.
+  const auto greedy = greedy_cover(matrix);
+  ExactCover exact(ranked_cov, universe);
+  const auto improved = exact.run(greedy.size());
+  if (improved.empty()) return greedy;
+
+  std::vector<int> result;
+  result.reserve(improved.size());
+  for (const int i : improved) {
+    result.push_back(ranked_pool[static_cast<std::size_t>(i)]);
+  }
+  MCMC_CHECK(covers_all(matrix, result, pairs));
+  return result;
+}
+
+}  // namespace mcmc::explore

@@ -1,0 +1,40 @@
+// Distinguishing-set computation (the "nine litmus tests" result).
+//
+// Section 4.2: a set of nine tests (Figure 3's L1..L9) suffices to
+// contrast any two non-equivalent models in the 90-model space.  Here the
+// question is phrased as set cover: the universe is every non-equivalent
+// model pair, and a test covers a pair when the two models give different
+// verdicts.  We provide:
+//
+//   * sufficiency checking for a candidate set (do its tests cover every
+//     pair the full suite distinguishes?),
+//   * a greedy cover over an arbitrary candidate pool,
+//   * an exact minimum cover by branch and bound (feasible at this size).
+#pragma once
+
+#include <vector>
+
+#include "explore/matrix.h"
+
+namespace mcmc::explore {
+
+/// Model pairs (indices into the matrix) distinguished by the full suite.
+[[nodiscard]] std::vector<std::pair<int, int>> distinguishable_pairs(
+    const AdmissibilityMatrix& matrix);
+
+/// True if the tests in `candidate` (matrix column indices) distinguish
+/// every pair in `pairs`.
+[[nodiscard]] bool covers_all(const AdmissibilityMatrix& matrix,
+                              const std::vector<int>& candidate,
+                              const std::vector<std::pair<int, int>>& pairs);
+
+/// Greedy set cover over all matrix tests; returns column indices.
+[[nodiscard]] std::vector<int> greedy_cover(const AdmissibilityMatrix& matrix);
+
+/// Exact minimum cover via branch and bound (uses the greedy result as the
+/// initial upper bound).  `max_pool` caps the candidate tests considered
+/// (tests are pre-ranked by coverage).
+[[nodiscard]] std::vector<int> exact_minimum_cover(
+    const AdmissibilityMatrix& matrix, int max_pool = 64);
+
+}  // namespace mcmc::explore

@@ -1,0 +1,85 @@
+#include "explore/fingerprint.h"
+
+#include "core/analysis.h"
+#include "core/checker.h"
+#include "enumeration/suite.h"
+#include "litmus/catalog.h"
+
+namespace mcmc::explore {
+
+namespace {
+
+bool allowed(const core::MemoryModel& model, const litmus::LitmusTest& test) {
+  const core::Analysis an(test.program());
+  return core::is_allowed(an, model, test.outcome());
+}
+
+}  // namespace
+
+Fingerprint fingerprint_model(const core::MemoryModel& model) {
+  Fingerprint result;
+
+  // Digit derivations (see verdict_prediction_test.cpp for the closed
+  // forms these invert).
+  const int ww = allowed(model, litmus::l1()) ? 1 : 4;
+
+  int rr = 0;
+  const bool l3_forbidden = !allowed(model, litmus::l3());
+  const bool l4_forbidden = !allowed(model, litmus::l4());
+  const bool l2_forbidden = !allowed(model, litmus::l2());
+  if (l3_forbidden) {
+    rr = 4;
+  } else if (l4_forbidden) {
+    rr = l2_forbidden ? 3 : 2;
+  } else {
+    rr = l2_forbidden ? 1 : 0;
+  }
+
+  int rw = 1;
+  if (!allowed(model, litmus::l5())) {
+    rw = 4;
+  } else if (!allowed(model, litmus::l6())) {
+    rw = 3;
+  }
+
+  // Write-read: L7 separates 4 from {0,1}; L8/L9 separate 0 from 1 where
+  // a detection route exists.
+  std::vector<int> wr_candidates;
+  if (!allowed(model, litmus::l7())) {
+    wr_candidates.push_back(4);
+  } else {
+    const bool l8_route = rr >= 2;
+    const bool l9_route = ww == 1 && rw >= 3;
+    if (l8_route) {
+      wr_candidates.push_back(allowed(model, litmus::l8()) ? 0 : 1);
+    } else if (l9_route) {
+      wr_candidates.push_back(allowed(model, litmus::l9()) ? 0 : 1);
+    } else {
+      wr_candidates.push_back(0);
+      wr_candidates.push_back(1);
+    }
+  }
+
+  for (const int wr : wr_candidates) {
+    result.candidates.push_back(ModelChoices{ww, wr, rw, rr});
+  }
+
+  // Verify each candidate against the full suite.
+  result.verified = !result.candidates.empty();
+  const auto suite = enumeration::corollary1_suite(true);
+  for (const auto& candidate : result.candidates) {
+    const auto candidate_model = candidate.to_model();
+    for (const auto& t : suite) {
+      const core::Analysis an(t.program());
+      if (core::is_allowed(an, model, t.outcome()) !=
+          core::is_allowed(an, candidate_model, t.outcome())) {
+        result.verified = false;
+        break;
+      }
+    }
+    if (!result.verified) break;
+  }
+  return result;
+}
+
+}  // namespace mcmc::explore

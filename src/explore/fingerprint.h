@@ -1,0 +1,42 @@
+// Model fingerprinting: locate an arbitrary (black-box) memory model in
+// the 90-model space from litmus-test verdicts alone.
+//
+// This inverts Section 4.2's analysis: each digit of M[ww][wr][rw][rr]
+// is determined by the verdicts of specific Figure-3 tests,
+//
+//   ww: L1            rr: L2, L3, L4       rw: L5, L6
+//   wr: L7, then L8 / L9 to separate 0 from 1
+//
+// with the documented caveat that wr = 0 vs wr = 1 is *undetectable*
+// when both the L8 route (rr >= 2) and the L9 route (ww = 1 and
+// rw >= 3) are closed -- precisely the paper's eight equivalent pairs.
+// The fingerprint therefore returns one or two candidates.
+#pragma once
+
+#include <vector>
+
+#include "core/model.h"
+#include "explore/space.h"
+
+namespace mcmc::explore {
+
+/// Result of fingerprinting: the candidate coordinates (one entry, or two
+/// for models in the undetectable write-read-same-address region), plus
+/// whether the model matched the space at all.
+struct Fingerprint {
+  /// Candidates within the explored space, empty if the model's behavior
+  /// on the probe tests matches no choice model (cannot happen for
+  /// models built from the space's digit semantics, but can for
+  /// arbitrary formulas).
+  std::vector<ModelChoices> candidates;
+
+  /// True when the model's suite behavior exactly matches each candidate
+  /// (verified over the full Corollary-1 suite, not just the probes).
+  bool verified = false;
+};
+
+/// Probes `model` with the Figure-3 tests, derives candidate digits, and
+/// verifies the candidates against the full template suite.
+[[nodiscard]] Fingerprint fingerprint_model(const core::MemoryModel& model);
+
+}  // namespace mcmc::explore

@@ -1,0 +1,90 @@
+#include "explore/lattice.h"
+
+#include "util/check.h"
+#include "util/dot.h"
+
+namespace mcmc::explore {
+
+Lattice build_lattice(const AdmissibilityMatrix& matrix,
+                      const std::vector<std::string>& model_names,
+                      const std::vector<std::string>& test_names) {
+  const int n = matrix.num_models();
+  MCMC_REQUIRE(static_cast<int>(model_names.size()) == n);
+
+  Lattice lattice;
+  // Group into equivalence classes.
+  std::vector<int> node_of(static_cast<std::size_t>(n), -1);
+  for (int m = 0; m < n; ++m) {
+    if (node_of[static_cast<std::size_t>(m)] >= 0) continue;
+    const int id = static_cast<int>(lattice.nodes.size());
+    LatticeNode node;
+    node.members.push_back(m);
+    node.label = model_names[static_cast<std::size_t>(m)];
+    node_of[static_cast<std::size_t>(m)] = id;
+    for (int other = m + 1; other < n; ++other) {
+      if (node_of[static_cast<std::size_t>(other)] >= 0) continue;
+      if (matrix.compare(m, other) == Relation::Equivalent) {
+        node.members.push_back(other);
+        node.label += "=" + model_names[static_cast<std::size_t>(other)];
+        node_of[static_cast<std::size_t>(other)] = id;
+      }
+    }
+    lattice.nodes.push_back(std::move(node));
+  }
+
+  // Strict order between class representatives.
+  const int k = static_cast<int>(lattice.nodes.size());
+  std::vector<std::vector<bool>> weaker(static_cast<std::size_t>(k),
+                                        std::vector<bool>(static_cast<std::size_t>(k), false));
+  for (int a = 0; a < k; ++a) {
+    for (int b = 0; b < k; ++b) {
+      if (a == b) continue;
+      const Relation r = matrix.compare(lattice.nodes[static_cast<std::size_t>(a)].members[0],
+                                        lattice.nodes[static_cast<std::size_t>(b)].members[0]);
+      weaker[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          r == Relation::FirstWeaker;
+    }
+  }
+
+  // Transitive reduction: keep a->b only if no c with a<c<b.
+  for (int a = 0; a < k; ++a) {
+    for (int b = 0; b < k; ++b) {
+      if (!weaker[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]) {
+        continue;
+      }
+      bool covered = false;
+      for (int c = 0; c < k && !covered; ++c) {
+        if (c == a || c == b) continue;
+        covered = weaker[static_cast<std::size_t>(a)][static_cast<std::size_t>(c)] &&
+                  weaker[static_cast<std::size_t>(c)][static_cast<std::size_t>(b)];
+      }
+      if (covered) continue;
+      LatticeEdge edge;
+      edge.weaker = a;
+      edge.stronger = b;
+      const auto witnesses = matrix.allowed_by_first_only(
+          lattice.nodes[static_cast<std::size_t>(a)].members[0],
+          lattice.nodes[static_cast<std::size_t>(b)].members[0]);
+      MCMC_CHECK_MSG(!witnesses.empty(), "strictly weaker without witness");
+      edge.witness_test = witnesses.front();
+      edge.witness_name =
+          test_names[static_cast<std::size_t>(edge.witness_test)];
+      lattice.edges.push_back(edge);
+    }
+  }
+  return lattice;
+}
+
+std::string Lattice::to_dot() const {
+  util::DotGraph g("model_lattice");
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    g.add_node("n" + std::to_string(i), nodes[i].label);
+  }
+  for (const auto& e : edges) {
+    g.add_edge("n" + std::to_string(e.weaker),
+               "n" + std::to_string(e.stronger), e.witness_name);
+  }
+  return g.to_string();
+}
+
+}  // namespace mcmc::explore

@@ -1,0 +1,46 @@
+// The weaker-to-stronger model lattice (Figure 4).
+//
+// Models are grouped into equivalence classes by suite verdicts; classes
+// are ordered by strict inclusion of allowed behaviors; edges are the
+// transitive reduction (Hasse diagram), each labeled with a distinguishing
+// litmus test that the weaker class allows and the stronger forbids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "explore/matrix.h"
+#include "explore/space.h"
+
+namespace mcmc::explore {
+
+/// One node: an equivalence class of models.
+struct LatticeNode {
+  std::vector<int> members;  ///< model indices, first is the representative
+  std::string label;         ///< joined member names, e.g. "M1010=M1110"
+};
+
+/// One Hasse edge from a weaker class to a stronger class.
+struct LatticeEdge {
+  int weaker = 0;
+  int stronger = 0;
+  int witness_test = -1;      ///< allowed by weaker, forbidden by stronger
+  std::string witness_name;   ///< the witness test's display name
+};
+
+/// The full diagram.
+struct Lattice {
+  std::vector<LatticeNode> nodes;
+  std::vector<LatticeEdge> edges;
+
+  /// Graphviz rendering (rankdir=BT: weaker at the bottom, like Figure 4).
+  [[nodiscard]] std::string to_dot() const;
+};
+
+/// Builds the diagram for `models` using matrix verdicts.  `test_names`
+/// supplies edge-label names (indexed like the matrix's tests).
+[[nodiscard]] Lattice build_lattice(const AdmissibilityMatrix& matrix,
+                                    const std::vector<std::string>& model_names,
+                                    const std::vector<std::string>& test_names);
+
+}  // namespace mcmc::explore

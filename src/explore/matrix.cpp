@@ -1,0 +1,76 @@
+#include "explore/matrix.h"
+
+#include "core/analysis.h"
+#include "util/check.h"
+
+namespace mcmc::explore {
+
+std::string to_string(Relation r) {
+  switch (r) {
+    case Relation::Equivalent:
+      return "equivalent";
+    case Relation::FirstWeaker:
+      return "weaker";
+    case Relation::FirstStronger:
+      return "stronger";
+    case Relation::Incomparable:
+      return "incomparable";
+  }
+  MCMC_UNREACHABLE("bad relation");
+}
+
+AdmissibilityMatrix::AdmissibilityMatrix(
+    const std::vector<core::MemoryModel>& models,
+    const std::vector<litmus::LitmusTest>& tests, core::Engine engine)
+    : num_tests_(static_cast<int>(tests.size())) {
+  // Analyze each test once; reuse across all models.
+  std::vector<core::Analysis> analyses;
+  analyses.reserve(tests.size());
+  for (const auto& t : tests) analyses.emplace_back(t.program());
+
+  rows_.reserve(models.size());
+  for (const auto& model : models) {
+    std::vector<bool> row;
+    row.reserve(tests.size());
+    for (std::size_t t = 0; t < tests.size(); ++t) {
+      row.push_back(
+          core::is_allowed(analyses[t], model, tests[t].outcome(), engine));
+    }
+    rows_.push_back(std::move(row));
+  }
+}
+
+Relation AdmissibilityMatrix::compare(int a, int b) const {
+  bool first_extra = false;
+  bool second_extra = false;
+  for (int t = 0; t < num_tests_; ++t) {
+    const bool va = allowed(a, t);
+    const bool vb = allowed(b, t);
+    if (va && !vb) first_extra = true;
+    if (vb && !va) second_extra = true;
+  }
+  if (first_extra && second_extra) return Relation::Incomparable;
+  if (first_extra) return Relation::FirstWeaker;
+  if (second_extra) return Relation::FirstStronger;
+  return Relation::Equivalent;
+}
+
+std::vector<int> AdmissibilityMatrix::distinguishing_tests(int a,
+                                                           int b) const {
+  std::vector<int> out;
+  for (int t = 0; t < num_tests_; ++t) {
+    if (allowed(a, t) != allowed(b, t)) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<int> AdmissibilityMatrix::allowed_by_first_only(int a,
+                                                            int b) const {
+  std::vector<int> out;
+  for (int t = 0; t < num_tests_; ++t) {
+    if (allowed(a, t) && !allowed(b, t)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace mcmc::explore

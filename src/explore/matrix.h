@@ -1,0 +1,61 @@
+// Admissibility matrix: model x test -> allowed?
+//
+// Comparing all 90 models pairwise on the Corollary-1 suite only needs
+// each (model, test) verdict once; precomputing the matrix turns the
+// quadratic pairwise comparison of Section 4.2 into cheap row operations
+// (the paper reports 20 minutes for the pairwise sweep; the matrix method
+// finishes in seconds).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/checker.h"
+#include "core/model.h"
+#include "litmus/test.h"
+
+namespace mcmc::explore {
+
+/// How two models relate on a test suite.
+enum class Relation {
+  Equivalent,     ///< same verdict on every test
+  FirstWeaker,    ///< first allows a strict superset
+  FirstStronger,  ///< first allows a strict subset
+  Incomparable,   ///< each allows a test the other forbids
+};
+
+[[nodiscard]] std::string to_string(Relation r);
+
+/// Precomputed verdicts for a set of models over a test suite.
+class AdmissibilityMatrix {
+ public:
+  /// Runs every (model, test) check.  Analyses are shared across models.
+  AdmissibilityMatrix(const std::vector<core::MemoryModel>& models,
+                      const std::vector<litmus::LitmusTest>& tests,
+                      core::Engine engine = core::Engine::Explicit);
+
+  [[nodiscard]] int num_models() const {
+    return static_cast<int>(rows_.size());
+  }
+  [[nodiscard]] int num_tests() const { return num_tests_; }
+
+  /// Verdict of model `m` on test `t`.
+  [[nodiscard]] bool allowed(int m, int t) const {
+    return rows_[static_cast<std::size_t>(m)][static_cast<std::size_t>(t)];
+  }
+
+  /// Relation of models `a` and `b` induced by the suite.
+  [[nodiscard]] Relation compare(int a, int b) const;
+
+  /// Indices of tests with different verdicts for `a` and `b`.
+  [[nodiscard]] std::vector<int> distinguishing_tests(int a, int b) const;
+
+  /// A test allowed by `a` and forbidden by `b` (first index), if any.
+  [[nodiscard]] std::vector<int> allowed_by_first_only(int a, int b) const;
+
+ private:
+  int num_tests_ = 0;
+  std::vector<std::vector<bool>> rows_;
+};
+
+}  // namespace mcmc::explore

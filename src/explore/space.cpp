@@ -1,0 +1,82 @@
+#include "explore/space.h"
+
+#include "util/check.h"
+
+namespace mcmc::explore {
+
+using core::Formula;
+
+std::string ModelChoices::name() const {
+  return "M" + std::to_string(ww) + std::to_string(wr) + std::to_string(rw) +
+         std::to_string(rr);
+}
+
+Formula choice_term(int digit) {
+  switch (digit) {
+    case 0:
+      return core::f_false();
+    case 1:
+      return core::same_addr();
+    case 2:
+      return core::data_dep();
+    case 3:
+      return core::same_addr() || core::data_dep();
+    case 4:
+      return core::f_true();
+    default:
+      MCMC_UNREACHABLE("bad choice digit");
+  }
+}
+
+core::MemoryModel ModelChoices::to_model() const {
+  using namespace core;  // NOLINT: formula DSL
+  const Formula f =
+      fence_x() || fence_y() || (write_x() && write_y() && choice_term(ww)) ||
+      (write_x() && read_y() && choice_term(wr)) ||
+      (read_x() && write_y() && choice_term(rw)) ||
+      (read_x() && read_y() && choice_term(rr));
+  return MemoryModel(name(), f);
+}
+
+std::vector<ModelChoices> model_space(bool with_deps) {
+  std::vector<ModelChoices> out;
+  const std::vector<int> ww_opts = {1, 4};
+  const std::vector<int> wr_opts = {0, 1, 4};
+  const std::vector<int> rw_opts = with_deps ? std::vector<int>{1, 3, 4}
+                                             : std::vector<int>{1, 4};
+  const std::vector<int> rr_opts = with_deps
+                                       ? std::vector<int>{0, 1, 2, 3, 4}
+                                       : std::vector<int>{0, 1, 4};
+  for (const int ww : ww_opts) {
+    for (const int wr : wr_opts) {
+      for (const int rw : rw_opts) {
+        for (const int rr : rr_opts) {
+          out.push_back({ww, wr, rw, rr});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<ModelChoices> parse_model_name(const std::string& name) {
+  if (name.size() != 5 || name[0] != 'M') return std::nullopt;
+  auto digit = [&](std::size_t i) { return name[i] - '0'; };
+  const ModelChoices c{digit(1), digit(2), digit(3), digit(4)};
+  const bool valid = (c.ww == 1 || c.ww == 4) &&
+                     (c.wr == 0 || c.wr == 1 || c.wr == 4) &&
+                     (c.rw == 1 || c.rw == 3 || c.rw == 4) && c.rr >= 0 &&
+                     c.rr <= 4;
+  if (!valid) return std::nullopt;
+  return c;
+}
+
+ModelChoices sc_choices() { return {4, 4, 4, 4}; }
+ModelChoices tso_choices() { return {4, 0, 4, 4}; }
+ModelChoices pso_choices() { return {1, 0, 4, 4}; }
+ModelChoices ibm370_choices() { return {4, 1, 4, 4}; }
+ModelChoices rmo_choices() { return {1, 0, 3, 2}; }
+ModelChoices rmo_nodep_choices() { return {1, 0, 1, 0}; }
+ModelChoices alpha_choices() { return {1, 1, 1, 0}; }
+
+}  // namespace mcmc::explore

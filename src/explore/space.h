@@ -1,0 +1,85 @@
+// The explored model space (Section 4.2).
+//
+// A model is a choice of reorder-allow option for each of the four ordered
+// access-pair types (write-write, write-read, read-write, read-read):
+//
+//   0  always allowed
+//   1  allowed iff the accesses hit different addresses
+//   2  allowed iff there is no data dependency
+//   3  allowed iff different addresses and no data dependency
+//   4  never allowed
+//
+// The paper eliminates options that violate single-thread consistency
+// (same-address write-write and read-write reordering) and options that
+// mention dependencies on write-first pairs (writes produce no values):
+//
+//   WW in {1,4},  WR in {0,1,4},  RW in {1,3,4},  RR in {0,1,2,3,4}
+//
+// giving 2*3*3*5 = 90 models.  Names follow Figure 4: "M" + the WW, WR,
+// RW, RR digits; e.g. SC = M4444, TSO = M4044, PSO = M1044,
+// IBM370 = M4144, RMO (without dependencies) = M1010.
+//
+// The must-not-reorder function of a choice model is
+//
+//   F(x,y) = Fence(x) | Fence(y)
+//          | (Write(x) & Write(y) & term(WW))
+//          | (Write(x) & Read(y)  & term(WR))
+//          | (Read(x)  & Write(y) & term(RW))
+//          | (Read(x)  & Read(y)  & term(RR))
+//
+// where term(0)=false, term(1)=SameAddr, term(2)=DataDep,
+// term(3)=SameAddr|DataDep, term(4)=true (must-not-reorder is the
+// negation of the allow condition).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace mcmc::explore {
+
+/// One point in the explored space.
+struct ModelChoices {
+  int ww = 4;
+  int wr = 4;
+  int rw = 4;
+  int rr = 4;
+
+  /// Figure-4 style name, e.g. "M4044".
+  [[nodiscard]] std::string name() const;
+
+  /// Builds the must-not-reorder formula model.
+  [[nodiscard]] core::MemoryModel to_model() const;
+
+  /// True if no digit mentions data dependencies (options 2 and 3).
+  [[nodiscard]] bool dependency_free() const {
+    return rw != 2 && rw != 3 && rr != 2 && rr != 3;
+  }
+
+  friend bool operator==(const ModelChoices& a, const ModelChoices& b) {
+    return a.ww == b.ww && a.wr == b.wr && a.rw == b.rw && a.rr == b.rr;
+  }
+};
+
+/// The must-not-reorder term for one digit.
+[[nodiscard]] core::Formula choice_term(int digit);
+
+/// All 90 models (or the 36 dependency-free ones).
+[[nodiscard]] std::vector<ModelChoices> model_space(bool with_deps);
+
+/// Parses "M4044" back into choices; rejects digits outside the space.
+[[nodiscard]] std::optional<ModelChoices> parse_model_name(
+    const std::string& name);
+
+/// The named hardware models' coordinates in the space.
+[[nodiscard]] ModelChoices sc_choices();       ///< M4444
+[[nodiscard]] ModelChoices tso_choices();      ///< M4044
+[[nodiscard]] ModelChoices pso_choices();      ///< M1044
+[[nodiscard]] ModelChoices ibm370_choices();   ///< M4144
+[[nodiscard]] ModelChoices rmo_choices();      ///< M1032 (with deps)
+[[nodiscard]] ModelChoices rmo_nodep_choices();///< M1010 (Figure 4's RMO)
+[[nodiscard]] ModelChoices alpha_choices();    ///< M1110 (Alpha-like)
+
+}  // namespace mcmc::explore

@@ -1,0 +1,202 @@
+#include "litmus/catalog.h"
+
+#include "core/instruction.h"
+
+namespace mcmc::litmus {
+
+namespace {
+
+using core::make_branch;
+using core::make_dep_const;
+using core::make_fence;
+using core::make_read;
+using core::make_read_indirect;
+using core::make_write;
+using core::make_write_from_reg;
+using core::Outcome;
+using core::Program;
+using core::Thread;
+
+constexpr core::Loc X = 0;
+constexpr core::Loc Y = 1;
+
+}  // namespace
+
+LitmusTest test_a() {
+  Program p;
+  p.add_thread({make_write(X, 1), make_fence(), make_read(Y, 1)});
+  p.add_thread({make_write(Y, 2), make_read(Y, 2), make_read(X, 3)});
+  return LitmusTest("TestA", p, Outcome({{1, 0}, {2, 2}, {3, 0}}),
+                    "Figure 1: TSO store-buffer forwarding");
+}
+
+LitmusTest l1() {
+  Program p;
+  p.add_thread({make_write(X, 1), make_write(Y, 1)});
+  p.add_thread({make_read(Y, 1), make_fence(), make_read(X, 2)});
+  return LitmusTest("L1", p, Outcome({{1, 1}, {2, 0}}),
+                    "write-write reordering (MP with fenced reader)");
+}
+
+LitmusTest l2() {
+  Program p;
+  p.add_thread({make_write(X, 1), make_write(X, 2)});
+  p.add_thread({make_read(X, 1), make_read(X, 2)});
+  return LitmusTest("L2", p, Outcome({{1, 2}, {2, 0}}),
+                    "same-address read-read reordering (CoRR)");
+}
+
+LitmusTest l3() {
+  Program p;
+  p.add_thread({make_write(X, 1), make_fence(), make_write(Y, 2)});
+  p.add_thread({make_read(Y, 1), make_read(X, 2)});
+  return LitmusTest("L3", p, Outcome({{1, 2}, {2, 0}}),
+                    "independent read-read reordering (MP)");
+}
+
+LitmusTest l4() {
+  Program p;
+  p.add_thread({make_write(X, 1), make_fence(), make_write(Y, 2)});
+  // t(r3) = r1 - r1 + X; Read [t] -> r2
+  p.add_thread({make_read(Y, 1), make_dep_const(3, 1, X),
+                make_read_indirect(3, 2)});
+  return LitmusTest("L4", p, Outcome({{1, 2}, {2, 0}}),
+                    "dependent read-read reordering (MP with address dep)");
+}
+
+LitmusTest l5() {
+  Program p;
+  p.add_thread({make_read(X, 1), make_write(Y, 1)});
+  p.add_thread({make_read(Y, 2), make_write(X, 1)});
+  return LitmusTest("L5", p, Outcome({{1, 1}, {2, 1}}),
+                    "independent read-write reordering (LB)");
+}
+
+LitmusTest l6() {
+  Program p;
+  // t1(r3) = r1 - r1 + 1; Write Y <- t1
+  p.add_thread({make_read(X, 1), make_dep_const(3, 1, 1),
+                make_write_from_reg(Y, 3)});
+  p.add_thread({make_read(Y, 2), make_dep_const(4, 2, 1),
+                make_write_from_reg(X, 4)});
+  return LitmusTest("L6", p, Outcome({{1, 1}, {2, 1}}),
+                    "dependent read-write reordering (LB with data dep)");
+}
+
+LitmusTest l7() {
+  Program p;
+  p.add_thread({make_write(X, 1), make_read(Y, 1)});
+  p.add_thread({make_write(Y, 1), make_read(X, 2)});
+  return LitmusTest("L7", p, Outcome({{1, 0}, {2, 0}}),
+                    "write-read reordering, different address (SB)");
+}
+
+LitmusTest l8() {
+  Program p;
+  // T1: Write X<-1; Read X->r1; t1(r5)=r1-r1+Y; Read [t1]->r2
+  p.add_thread({make_write(X, 1), make_read(X, 1), make_dep_const(5, 1, Y),
+                make_read_indirect(5, 2)});
+  // T2: Write Y<-1; Read Y->r3; t2(r6)=r3-r3+X; Read [t2]->r4
+  p.add_thread({make_write(Y, 1), make_read(Y, 3), make_dep_const(6, 3, X),
+                make_read_indirect(6, 4)});
+  return LitmusTest("L8", p, Outcome({{1, 1}, {2, 0}, {3, 1}, {4, 0}}),
+                    "write-read reordering to the same address, detected "
+                    "through dependent reads");
+}
+
+LitmusTest l9() {
+  Program p;
+  // T1: Write X<-1; Read X->r1; t1(r4)=r1-r1+1; Write Y<-t1
+  p.add_thread({make_write(X, 1), make_read(X, 1), make_dep_const(4, 1, 1),
+                make_write_from_reg(Y, 4)});
+  // T2: Read Y->r2; t2(r5)=r2-r2+2; Write X<-t2; Read X->r3
+  p.add_thread({make_read(Y, 2), make_dep_const(5, 2, 2),
+                make_write_from_reg(X, 5), make_read(X, 3)});
+  return LitmusTest("L9", p, Outcome({{1, 1}, {2, 1}, {3, 1}}),
+                    "write-read reordering to the same address, detected "
+                    "through a dependent write");
+}
+
+std::vector<LitmusTest> figure3_tests() {
+  return {l1(), l2(), l3(), l4(), l5(), l6(), l7(), l8(), l9()};
+}
+
+LitmusTest store_buffering() {
+  Program p;
+  p.add_thread({make_write(X, 1), make_read(Y, 1)});
+  p.add_thread({make_write(Y, 1), make_read(X, 2)});
+  return LitmusTest("SB", p, Outcome({{1, 0}, {2, 0}}), "store buffering");
+}
+
+LitmusTest message_passing() {
+  Program p;
+  p.add_thread({make_write(X, 1), make_write(Y, 1)});
+  p.add_thread({make_read(Y, 1), make_read(X, 2)});
+  return LitmusTest("MP", p, Outcome({{1, 1}, {2, 0}}), "message passing");
+}
+
+LitmusTest load_buffering() {
+  Program p;
+  p.add_thread({make_read(X, 1), make_write(Y, 1)});
+  p.add_thread({make_read(Y, 2), make_write(X, 1)});
+  return LitmusTest("LB", p, Outcome({{1, 1}, {2, 1}}), "load buffering");
+}
+
+LitmusTest corr() {
+  Program p;
+  p.add_thread({make_write(X, 1)});
+  p.add_thread({make_read(X, 1), make_read(X, 2)});
+  return LitmusTest("CoRR", p, Outcome({{1, 1}, {2, 0}}),
+                    "coherence of same-address reads");
+}
+
+LitmusTest two_plus_two_w() {
+  Program p;
+  p.add_thread({make_write(X, 1), make_write(Y, 1), make_read(Y, 1)});
+  p.add_thread({make_write(Y, 2), make_write(X, 2), make_read(X, 2)});
+  return LitmusTest("2+2W", p, Outcome({{1, 2}, {2, 1}}),
+                    "write-write reordering observed through cross reads");
+}
+
+LitmusTest iriw() {
+  Program p;
+  p.add_thread({make_write(X, 1)});
+  p.add_thread({make_write(Y, 1)});
+  p.add_thread({make_read(X, 1), make_fence(), make_read(Y, 2)});
+  p.add_thread({make_read(Y, 3), make_fence(), make_read(X, 4)});
+  return LitmusTest("IRIW", p, Outcome({{1, 1}, {2, 0}, {3, 1}, {4, 0}}),
+                    "independent reads of independent writes (forbidden "
+                    "throughout the paper's store-atomic class)");
+}
+
+LitmusTest ctrl_mp() {
+  Program p;
+  p.add_thread({make_write(X, 1), make_fence(), make_write(Y, 2)});
+  p.add_thread({make_read(Y, 1), make_branch(1), make_read(X, 2)});
+  return LitmusTest("MP+ctrl", p, Outcome({{1, 2}, {2, 0}}),
+                    "message passing with a control-dependent second read");
+}
+
+LitmusTest ctrl_lb() {
+  Program p;
+  p.add_thread({make_read(X, 1), make_branch(1), make_write(Y, 1)});
+  p.add_thread({make_read(Y, 2), make_branch(2), make_write(X, 1)});
+  return LitmusTest("LB+ctrl", p, Outcome({{1, 1}, {2, 1}}),
+                    "load buffering with branch-guarded writes");
+}
+
+std::vector<LitmusTest> full_catalog() {
+  std::vector<LitmusTest> out = figure3_tests();
+  out.insert(out.begin(), test_a());
+  out.push_back(store_buffering());
+  out.push_back(message_passing());
+  out.push_back(load_buffering());
+  out.push_back(corr());
+  out.push_back(two_plus_two_w());
+  out.push_back(iriw());
+  out.push_back(ctrl_mp());
+  out.push_back(ctrl_lb());
+  return out;
+}
+
+}  // namespace mcmc::litmus

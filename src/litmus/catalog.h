@@ -1,0 +1,54 @@
+// Catalog of named litmus tests:
+//
+//   * Test A            — Figure 1 (the TSO store-buffer example),
+//   * L1 .. L9          — Figure 3, the nine contrasting tests that
+//                         suffice to distinguish the explored model space,
+//   * classic shapes    — SB, MP, LB, CoRR, 2+2W, IRIW — used by the
+//                         examples and cross-validation suites.
+//
+// All programs follow the paper's value conventions: locations start at 0
+// and each write stores a distinct nonzero constant, so outcomes pin the
+// read-from map (up to initial-value reads).
+#pragma once
+
+#include <vector>
+
+#include "litmus/test.h"
+
+namespace mcmc::litmus {
+
+/// Figure 1's "Test A" (allowed under TSO via store-buffer forwarding,
+/// forbidden under SC).
+[[nodiscard]] LitmusTest test_a();
+
+/// Figure 3's tests, in paper order (index 1..9).
+[[nodiscard]] LitmusTest l1();
+[[nodiscard]] LitmusTest l2();
+[[nodiscard]] LitmusTest l3();
+[[nodiscard]] LitmusTest l4();
+[[nodiscard]] LitmusTest l5();
+[[nodiscard]] LitmusTest l6();
+[[nodiscard]] LitmusTest l7();
+[[nodiscard]] LitmusTest l8();
+[[nodiscard]] LitmusTest l9();
+
+/// All nine Figure-3 tests in order L1..L9.
+[[nodiscard]] std::vector<LitmusTest> figure3_tests();
+
+// Classic shapes (named per the community convention).
+[[nodiscard]] LitmusTest store_buffering();   ///< SB; same shape as L7
+[[nodiscard]] LitmusTest message_passing();   ///< MP
+[[nodiscard]] LitmusTest load_buffering();    ///< LB; same shape as L5
+[[nodiscard]] LitmusTest corr();              ///< coherence of read-read
+[[nodiscard]] LitmusTest two_plus_two_w();    ///< 2+2W with observer reads
+[[nodiscard]] LitmusTest iriw();              ///< 4-thread IRIW with fences
+
+// Control-dependency variants (the paper notes full RMO/Alpha need
+// ControlDep; these tests exercise that extension of the framework).
+[[nodiscard]] LitmusTest ctrl_mp();  ///< MP with a branch between reads
+[[nodiscard]] LitmusTest ctrl_lb();  ///< LB with branch-guarded writes
+
+/// The full catalog (Test A + L1..L9 + classics + control-dep variants).
+[[nodiscard]] std::vector<LitmusTest> full_catalog();
+
+}  // namespace mcmc::litmus

@@ -1,0 +1,266 @@
+#include "litmus/parser.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace mcmc::litmus {
+
+namespace {
+
+using core::Instruction;
+using core::Loc;
+using core::Reg;
+
+[[noreturn]] void fail(int line_no, const std::string& msg) {
+  throw std::invalid_argument("litmus parse error (line " +
+                              std::to_string(line_no) + "): " + msg);
+}
+
+bool is_register(const std::string& tok) {
+  if (tok.size() < 2 || tok[0] != 'r') return false;
+  for (std::size_t i = 1; i < tok.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(tok[i]))) return false;
+  }
+  return true;
+}
+
+Reg parse_register(const std::string& tok, int line_no) {
+  if (!is_register(tok)) fail(line_no, "expected register, got '" + tok + "'");
+  return static_cast<Reg>(util::parse_int(tok.substr(1)));
+}
+
+bool is_location(const std::string& tok) {
+  if (tok == "X" || tok == "Y" || tok == "Z" || tok == "W") return true;
+  if (tok.size() >= 2 && tok[0] == 'A') {
+    for (std::size_t i = 1; i < tok.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(tok[i]))) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+Loc parse_location(const std::string& tok, int line_no) {
+  if (tok == "X") return 0;
+  if (tok == "Y") return 1;
+  if (tok == "Z") return 2;
+  if (tok == "W") return 3;
+  if (is_location(tok)) return static_cast<Loc>(util::parse_int(tok.substr(1)));
+  fail(line_no, "expected location, got '" + tok + "'");
+}
+
+bool is_integer(const std::string& tok) {
+  if (tok.empty()) return false;
+  std::size_t i = (tok[0] == '-') ? 1 : 0;
+  if (i == tok.size()) return false;
+  for (; i < tok.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(tok[i]))) return false;
+  }
+  return true;
+}
+
+/// Parses "[rN]" or a location name; returns (loc, addr_reg).
+std::pair<Loc, Reg> parse_address(const std::string& tok, int line_no) {
+  if (tok.size() >= 3 && tok.front() == '[' && tok.back() == ']') {
+    const Reg r = parse_register(tok.substr(1, tok.size() - 2), line_no);
+    return {core::kNoLoc, r};
+  }
+  return {parse_location(tok, line_no), core::kNoReg};
+}
+
+/// Parses `rD = rS - rS + C` where C is an integer or a location name.
+Instruction parse_dep_const(const std::string& line, int line_no) {
+  const auto eq = line.find('=');
+  MCMC_CHECK(eq != std::string::npos);
+  const Reg dst = parse_register(util::trim(line.substr(0, eq)), line_no);
+  std::string rhs;
+  for (char c : line.substr(eq + 1)) {
+    if (!std::isspace(static_cast<unsigned char>(c))) rhs += c;
+  }
+  const auto minus = rhs.find('-');
+  const auto plus = rhs.find('+');
+  if (minus == std::string::npos || plus == std::string::npos || plus < minus) {
+    fail(line_no, "usage: rD = rS - rS + <const>");
+  }
+  const std::string s1 = rhs.substr(0, minus);
+  const std::string s2 = rhs.substr(minus + 1, plus - minus - 1);
+  const std::string c = rhs.substr(plus + 1);
+  if (s1 != s2) fail(line_no, "dependency idiom needs rS - rS (same register)");
+  const Reg src = parse_register(s1, line_no);
+  int value = 0;
+  if (is_integer(c)) {
+    value = static_cast<int>(util::parse_int(c));
+  } else if (is_location(c)) {
+    value = parse_location(c, line_no);
+  } else {
+    fail(line_no, "bad constant '" + c + "'");
+  }
+  return core::make_dep_const(dst, src, value);
+}
+
+Instruction parse_instruction(const std::string& line, int line_no) {
+  auto toks = util::split_ws(line);
+  MCMC_CHECK(!toks.empty());
+
+  if (toks[0] == "Fence") {
+    if (toks.size() != 1) fail(line_no, "Fence takes no operands");
+    return core::make_fence();
+  }
+  if (toks[0] == "Branch") {
+    if (toks.size() != 2) fail(line_no, "usage: Branch rN");
+    return core::make_branch(parse_register(toks[1], line_no));
+  }
+  if (toks[0] == "Read") {
+    if (toks.size() != 4 || toks[2] != "->") {
+      fail(line_no, "usage: Read <addr> -> rN");
+    }
+    const auto [loc, areg] = parse_address(toks[1], line_no);
+    const Reg dst = parse_register(toks[3], line_no);
+    return (areg >= 0) ? core::make_read_indirect(areg, dst)
+                       : core::make_read(loc, dst);
+  }
+  if (toks[0] == "Write") {
+    if (toks.size() != 4 || toks[2] != "<-") {
+      fail(line_no, "usage: Write <addr> <- <value>");
+    }
+    const auto [loc, areg] = parse_address(toks[1], line_no);
+    if (is_register(toks[3])) {
+      if (areg >= 0) fail(line_no, "indirect store with register value");
+      return core::make_write_from_reg(loc, parse_register(toks[3], line_no));
+    }
+    if (!is_integer(toks[3])) fail(line_no, "bad store value '" + toks[3] + "'");
+    const int value = static_cast<int>(util::parse_int(toks[3]));
+    return (areg >= 0) ? core::make_write_indirect(areg, value)
+                       : core::make_write(loc, value);
+  }
+  // DepConst: rD = rS - rS + C (and the line contains no <- or ->).
+  if (is_register(toks[0]) && line.find('=') != std::string::npos &&
+      line.find("<-") == std::string::npos &&
+      line.find("->") == std::string::npos) {
+    return parse_dep_const(line, line_no);
+  }
+  fail(line_no, "unrecognized instruction '" + line + "'");
+}
+
+}  // namespace
+
+LitmusTest parse_test(const std::string& text) {
+  std::string name = "unnamed";
+  std::vector<core::Thread> threads;
+  core::Outcome outcome;
+  bool saw_outcome = false;
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::string line = util::trim(raw);
+    if (line.empty()) continue;
+
+    if (util::starts_with(line, "name:")) {
+      name = util::trim(line.substr(5));
+      continue;
+    }
+    if (util::starts_with(line, "thread:")) {
+      threads.emplace_back();
+      continue;
+    }
+    if (util::starts_with(line, "outcome:")) {
+      for (const auto& item : util::split_ws(line.substr(8))) {
+        const auto eq = item.find('=');
+        if (eq == std::string::npos) fail(line_no, "bad outcome item " + item);
+        const Reg reg = parse_register(util::trim(item.substr(0, eq)), line_no);
+        outcome.require(reg, static_cast<int>(
+                                 util::parse_int(item.substr(eq + 1))));
+      }
+      saw_outcome = true;
+      continue;
+    }
+    if (threads.empty()) fail(line_no, "instruction before any 'thread:'");
+    threads.back().push_back(parse_instruction(line, line_no));
+  }
+  if (threads.empty()) throw std::invalid_argument("litmus test has no threads");
+  if (!saw_outcome) throw std::invalid_argument("litmus test has no outcome");
+  return LitmusTest(name, core::Program(std::move(threads)), outcome);
+}
+
+std::vector<LitmusTest> parse_corpus(const std::string& text) {
+  // Split on 'name:' boundaries; comment-only or blank material before
+  // the first test is ignored.
+  auto content = [](const std::string& line) {
+    const auto hash = line.find('#');
+    return util::trim(hash == std::string::npos ? line
+                                                : line.substr(0, hash));
+  };
+  std::vector<std::string> chunks;
+  std::string current;
+  bool in_test = false;
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::string meaningful = content(raw);
+    if (util::starts_with(meaningful, "name:")) {
+      if (in_test) chunks.push_back(current);
+      current.clear();
+      in_test = true;
+    }
+    if (in_test) {
+      current += raw;
+      current += '\n';
+    } else if (!meaningful.empty()) {
+      throw std::invalid_argument(
+          "litmus corpus: content before the first 'name:' line");
+    }
+  }
+  if (in_test) chunks.push_back(current);
+
+  std::vector<LitmusTest> out;
+  for (const auto& chunk : chunks) out.push_back(parse_test(chunk));
+  if (out.empty()) throw std::invalid_argument("empty litmus corpus");
+  return out;
+}
+
+std::string write_test(const LitmusTest& test) {
+  std::string out = "name: " + test.name() + "\n";
+  const auto& prog = test.program();
+  for (int t = 0; t < prog.num_threads(); ++t) {
+    out += "thread:\n";
+    const auto& th = prog.thread(t);
+    // Mark DepConst registers feeding addresses (see Program::to_string).
+    std::vector<bool> feeds_addr(th.size(), false);
+    for (std::size_t i = 0; i < th.size(); ++i) {
+      if (th[i].addr_reg < 0) continue;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (th[j].op == core::Op::DepConst && th[j].dst == th[i].addr_reg) {
+          feeds_addr[j] = true;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < th.size(); ++i) {
+      out += "  " + core::to_string(th[i], feeds_addr[i]) + "\n";
+    }
+  }
+  out += "outcome:";
+  for (const auto& [reg, value] : test.outcome().constraints()) {
+    out += " " + core::reg_name(reg) + "=" + std::to_string(value);
+  }
+  out += "\n";
+  return out;
+}
+
+std::string write_corpus(const std::vector<LitmusTest>& tests) {
+  std::string out;
+  for (const auto& t : tests) {
+    if (!out.empty()) out += "\n";
+    out += write_test(t);
+  }
+  return out;
+}
+
+}  // namespace mcmc::litmus

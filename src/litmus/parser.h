@@ -1,0 +1,49 @@
+// Text format for litmus tests.
+//
+// Grammar (line oriented; '#' starts a comment):
+//
+//   name: TestA
+//   thread:
+//     Write X <- 1
+//     Fence
+//     Read Y -> r1
+//   thread:
+//     Write Y <- 2
+//     Read Y -> r2
+//     Read X -> r3
+//   outcome: r1=0 r2=2 r3=0
+//
+// Instructions:
+//   Read X -> r1        direct-address load
+//   Read [r1] -> r2     register-indirect load
+//   Write X <- 1        immediate store
+//   Write X <- r1       register-value store (register must be DepConst)
+//   Write [r1] <- 1     register-indirect store
+//   Fence               full fence
+//   r2 = r1 - r1 + 1    dependency constant (value may be a location name)
+//   Branch r1           control-dependency marker
+//
+// Locations are X, Y, Z, W, A4, A5, ...; registers are r0, r1, ...
+#pragma once
+
+#include <string>
+
+#include "litmus/test.h"
+
+namespace mcmc::litmus {
+
+/// Parses one litmus test; throws std::invalid_argument with a line-tagged
+/// diagnostic on malformed input.
+[[nodiscard]] LitmusTest parse_test(const std::string& text);
+
+/// Parses a corpus: multiple tests in one document, each starting at a
+/// `name:` line.  Throws on malformed input or an empty corpus.
+[[nodiscard]] std::vector<LitmusTest> parse_corpus(const std::string& text);
+
+/// Serializes a test in the format `parse_test` accepts (round-trips).
+[[nodiscard]] std::string write_test(const LitmusTest& test);
+
+/// Serializes many tests as a corpus (round-trips through parse_corpus).
+[[nodiscard]] std::string write_corpus(const std::vector<LitmusTest>& tests);
+
+}  // namespace mcmc::litmus

@@ -1,0 +1,14 @@
+#include "litmus/test.h"
+
+namespace mcmc::litmus {
+
+std::string LitmusTest::to_string() const {
+  std::string out = "Test " + name_;
+  if (!description_.empty()) out += " (" + description_ + ")";
+  out += "\n";
+  out += program_.to_string();
+  out += "Outcome: " + outcome_.to_string() + "\n";
+  return out;
+}
+
+}  // namespace mcmc::litmus

@@ -1,0 +1,44 @@
+// A litmus test: a named program with a candidate outcome.
+//
+// The question a litmus test poses is "can this program finish with these
+// register values?"  A model that answers yes is *weaker* on this test; a
+// model that answers no *forbids* the relaxation the test probes.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/analysis.h"
+#include "core/outcome.h"
+#include "core/program.h"
+
+namespace mcmc::litmus {
+
+/// A named litmus test.
+class LitmusTest {
+ public:
+  LitmusTest(std::string name, core::Program program, core::Outcome outcome,
+             std::string description = "")
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        program_(std::move(program)),
+        outcome_(std::move(outcome)) {
+    program_.validate();
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& description() const { return description_; }
+  [[nodiscard]] const core::Program& program() const { return program_; }
+  [[nodiscard]] const core::Outcome& outcome() const { return outcome_; }
+
+  /// Renders the program table plus the outcome line.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::string description_;
+  core::Program program_;
+  core::Outcome outcome_;
+};
+
+}  // namespace mcmc::litmus

@@ -1,0 +1,57 @@
+#include "models/special_fence.h"
+
+#include "core/formula.h"
+
+namespace mcmc::models {
+
+namespace {
+
+using core::Analysis;
+using core::EventId;
+
+/// 1-based index of a fence within its thread; 0 for non-fences.
+int fence_index(const Analysis& an, EventId e) {
+  if (!an.is_fence(e)) return 0;
+  int k = 0;
+  for (int i = 0; i <= an.event(e).index; ++i) {
+    if (an.is_fence(an.event_id(an.event(e).thread, i))) ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+core::MemoryModel special_fence_chain(int n) {
+  const core::Formula special = core::Formula::custom(
+      "special", [n](const Analysis& an, EventId x, EventId y) {
+        const int fx = fence_index(an, x);
+        const int fy = fence_index(an, y);
+        if (an.is_memory_access(x) && fy == 1) return true;
+        if (fx == n && an.is_memory_access(y)) return true;
+        return fx > 0 && fy == fx + 1;
+      });
+  return core::MemoryModel("special-chain-" + std::to_string(n),
+                           core::same_addr() || special);
+}
+
+core::MemoryModel same_addr_only() {
+  return core::MemoryModel("same-addr-only", core::same_addr());
+}
+
+litmus::LitmusTest lb_with_fence_chain(int fences) {
+  core::Program p;
+  core::Thread t1;
+  t1.push_back(core::make_read(0, 1));
+  for (int i = 0; i < fences; ++i) t1.push_back(core::make_fence());
+  t1.push_back(core::make_write(1, 1));
+  core::Thread t2;
+  t2.push_back(core::make_read(1, 2));
+  for (int i = 0; i < fences; ++i) t2.push_back(core::make_fence());
+  t2.push_back(core::make_write(0, 1));
+  p.add_thread(std::move(t1));
+  p.add_thread(std::move(t2));
+  return litmus::LitmusTest("LB+" + std::to_string(fences) + "fences", p,
+                            core::Outcome({{1, 1}, {2, 1}}));
+}
+
+}  // namespace mcmc::models

@@ -1,0 +1,33 @@
+// The Section 3.3 special-fence construction.
+//
+// A hypothetical model with n distinct fence instructions f1..fn and the
+// predicate special(x, y), true when (1) x is a memory access and y is
+// f1, (2) x is fn and y is a memory access, or (3) x = fi and y = fi+1.
+// F1 = SameAddr | special orders a read before a later write only through
+// a complete chain  Read, f1, ..., fn, Write;  contrasting F1 from
+// F2 = SameAddr therefore needs a local segment of n+2 instructions.
+// The paper uses this to show the local-segment length bound depends on
+// the number of instruction equivalence classes of the predicate set.
+//
+// Fence identity is positional here: fence #k is the k-th fence of its
+// thread (the IR has a single Fence opcode; the equivalence classes come
+// from the predicate, exactly as Section 3.3 prescribes).
+#pragma once
+
+#include "core/model.h"
+#include "litmus/test.h"
+
+namespace mcmc::models {
+
+/// F1 = SameAddr | special(f1..fn chain).
+[[nodiscard]] core::MemoryModel special_fence_chain(int n);
+
+/// F2 = SameAddr (the model F1 is contrasted against).
+[[nodiscard]] core::MemoryModel same_addr_only();
+
+/// The LB-shaped probe whose read->write segments carry `fences` full
+/// fences in each thread; contrasts the two models above iff
+/// fences >= n.
+[[nodiscard]] litmus::LitmusTest lb_with_fence_chain(int fences);
+
+}  // namespace mcmc::models

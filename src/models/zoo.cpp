@@ -1,0 +1,56 @@
+#include "models/zoo.h"
+
+using namespace mcmc::core;  // NOLINT: formula-building DSL
+
+namespace mcmc::models {
+
+MemoryModel sc() { return MemoryModel("SC", f_true()); }
+
+namespace {
+
+Formula tso_formula() {
+  return (write_x() && write_y()) || read_x() || fence_x() || fence_y();
+}
+
+}  // namespace
+
+MemoryModel tso() { return MemoryModel("TSO", tso_formula()); }
+
+MemoryModel x86() { return MemoryModel("x86", tso_formula()); }
+
+MemoryModel pso() {
+  // Writes stay ordered only to the same address; reads stay ordered with
+  // everything after them; fences order all.
+  return MemoryModel("PSO", (write_x() && write_y() && same_addr()) ||
+                                read_x() || fence_x() || fence_y());
+}
+
+MemoryModel ibm370() {
+  return MemoryModel("IBM370",
+                     (write_x() && read_y() && same_addr()) ||
+                         (write_x() && write_y()) || read_x() || fence_x() ||
+                         fence_y());
+}
+
+MemoryModel rmo() {
+  return MemoryModel("RMO", (write_y() && same_addr()) || fence_x() ||
+                                fence_y() || data_dep() || ctrl_dep());
+}
+
+MemoryModel rmo_no_ctrl() {
+  return MemoryModel("RMO-noctrl", (write_y() && same_addr()) || fence_x() ||
+                                       fence_y() || data_dep());
+}
+
+MemoryModel alpha_variant() {
+  return MemoryModel("Alpha-like",
+                     (same_addr() && (write_x() || write_y())) || fence_x() ||
+                         fence_y());
+}
+
+std::vector<MemoryModel> all_named_models() {
+  return {sc(),  tso(),          pso(),          ibm370(),
+          rmo(), rmo_no_ctrl(), alpha_variant()};
+}
+
+}  // namespace mcmc::models

@@ -1,0 +1,54 @@
+// Named hardware memory models, written as must-not-reorder formulas
+// exactly as in Section 2.4 of the paper.
+//
+// Note: the paper's Section 2.4 states "F_SC = False"; since F is the
+// must-not-reorder function and SC never reorders, that is a typo for
+// F_SC = True (every other example in the section is consistent with
+// F = must-not-reorder).  We use True.
+#pragma once
+
+#include <vector>
+
+#include "core/model.h"
+
+namespace mcmc::models {
+
+/// Sequential consistency: nothing may be reordered.  F = true.
+[[nodiscard]] core::MemoryModel sc();
+
+/// SPARC TSO (= Intel x86 in this framework): writes may be delayed past
+/// later reads, including reads of the same address (store-buffer
+/// forwarding).  F = (W(x) & W(y)) | R(x) | Fence(x) | Fence(y).
+[[nodiscard]] core::MemoryModel tso();
+
+/// Intel x86: same formula as TSO.
+[[nodiscard]] core::MemoryModel x86();
+
+/// SPARC PSO: TSO plus write-write reordering to different addresses.
+[[nodiscard]] core::MemoryModel pso();
+
+/// IBM System/370: like TSO, but a write may not be reordered with a later
+/// read of the same address (no store forwarding).
+/// F = (W(x) & R(y) & SameAddr) | (W(x) & W(y)) | R(x) | Fence | Fence.
+[[nodiscard]] core::MemoryModel ibm370();
+
+/// SPARC RMO (paper variant): everything may reorder except fences,
+/// data/control-dependent pairs, and accesses where the second is a write
+/// to the same address.
+/// F = (W(y) & SameAddr) | Fence(x) | Fence(y) | DataDep | ControlDep.
+[[nodiscard]] core::MemoryModel rmo();
+
+/// RMO restricted to the paper's explored predicate set (no control
+/// dependencies): F = (W(y) & SameAddr) | Fence | Fence | DataDep.
+[[nodiscard]] core::MemoryModel rmo_no_ctrl();
+
+/// An Alpha-like variant: reorders everything (even dependent loads)
+/// except fences and same-address pairs.  The paper notes a faithful Alpha
+/// needs control dependencies; this is the commonly used approximation
+/// within the explored predicate set (choice digits M1110).
+[[nodiscard]] core::MemoryModel alpha_variant();
+
+/// All named models above (each once; x86 omitted as an alias of TSO).
+[[nodiscard]] std::vector<core::MemoryModel> all_named_models();
+
+}  // namespace mcmc::models

@@ -1,0 +1,35 @@
+#include "sat/brute.h"
+
+#include "util/check.h"
+
+namespace mcmc::sat {
+
+std::optional<std::vector<bool>> brute_force_solve(const Cnf& cnf) {
+  MCMC_REQUIRE_MSG(cnf.num_vars <= 24, "brute force capped at 24 variables");
+  const std::uint64_t limit = 1ULL << cnf.num_vars;
+  for (std::uint64_t bits = 0; bits < limit; ++bits) {
+    bool all_satisfied = true;
+    for (const auto& clause : cnf.clauses) {
+      bool satisfied = false;
+      for (const Lit l : clause) {
+        const bool v = ((bits >> l.var()) & 1) != 0;
+        if (v != l.negated()) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        all_satisfied = false;
+        break;
+      }
+    }
+    if (all_satisfied) {
+      std::vector<bool> model(static_cast<std::size_t>(cnf.num_vars));
+      for (int v = 0; v < cnf.num_vars; ++v) model[v] = ((bits >> v) & 1) != 0;
+      return model;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mcmc::sat

@@ -1,0 +1,17 @@
+// Brute-force SAT reference used to differential-test the CDCL solver.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sat/dimacs.h"
+#include "sat/types.h"
+
+namespace mcmc::sat {
+
+/// Decides satisfiability by exhaustive enumeration (feasible up to ~24
+/// variables).  Returns a model if satisfiable, std::nullopt otherwise.
+[[nodiscard]] std::optional<std::vector<bool>> brute_force_solve(
+    const Cnf& cnf);
+
+}  // namespace mcmc::sat

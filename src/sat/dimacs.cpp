@@ -1,0 +1,70 @@
+#include "sat/dimacs.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace mcmc::sat {
+
+Cnf parse_dimacs(const std::string& text) {
+  Cnf cnf;
+  bool seen_header = false;
+  int declared_clauses = 0;
+  Clause current;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = util::trim(line);
+    if (t.empty() || t[0] == 'c') continue;
+    if (t[0] == 'p') {
+      const auto fields = util::split_ws(t);
+      if (fields.size() != 4 || fields[1] != "cnf") {
+        throw std::invalid_argument("dimacs: bad problem line: " + t);
+      }
+      cnf.num_vars = static_cast<int>(util::parse_int(fields[2]));
+      declared_clauses = static_cast<int>(util::parse_int(fields[3]));
+      seen_header = true;
+      continue;
+    }
+    if (!seen_header) {
+      throw std::invalid_argument("dimacs: clause before problem line");
+    }
+    for (const auto& tok : util::split_ws(t)) {
+      const long long v = util::parse_int(tok);
+      if (v == 0) {
+        cnf.clauses.push_back(current);
+        current.clear();
+        continue;
+      }
+      const auto var = static_cast<Var>(std::llabs(v) - 1);
+      if (var >= cnf.num_vars) {
+        throw std::invalid_argument("dimacs: variable out of range: " + tok);
+      }
+      current.push_back(Lit(var, v < 0));
+    }
+  }
+  if (!current.empty()) {
+    throw std::invalid_argument("dimacs: unterminated clause");
+  }
+  if (declared_clauses != static_cast<int>(cnf.clauses.size())) {
+    throw std::invalid_argument("dimacs: clause count mismatch");
+  }
+  return cnf;
+}
+
+std::string to_dimacs(const Cnf& cnf) {
+  std::ostringstream out;
+  out << "p cnf " << cnf.num_vars << ' ' << cnf.clauses.size() << '\n';
+  for (const auto& clause : cnf.clauses) {
+    for (const Lit l : clause) {
+      MCMC_REQUIRE(l.var() < cnf.num_vars);
+      out << (l.negated() ? -(l.var() + 1) : (l.var() + 1)) << ' ';
+    }
+    out << "0\n";
+  }
+  return out.str();
+}
+
+}  // namespace mcmc::sat

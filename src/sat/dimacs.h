@@ -1,0 +1,26 @@
+// DIMACS CNF serialization, for debugging and for regression corpora.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace mcmc::sat {
+
+/// A CNF formula in portable form: `num_vars` variables (0-based) and a
+/// list of clauses.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+};
+
+/// Parses DIMACS CNF text ("p cnf V C" header, clauses terminated by 0).
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] Cnf parse_dimacs(const std::string& text);
+
+/// Renders a formula as DIMACS CNF text.
+[[nodiscard]] std::string to_dimacs(const Cnf& cnf);
+
+}  // namespace mcmc::sat

@@ -1,0 +1,440 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mcmc::sat {
+
+namespace {
+constexpr double kVarDecay = 0.95;
+constexpr double kActivityRescale = 1e100;
+constexpr std::uint64_t kRestartBase = 64;
+}  // namespace
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(LBool::Undef);
+  var_info_.push_back({});
+  saved_phase_.push_back(false);
+  activity_.push_back(0.0);
+  seen_.push_back(false);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_pos_.push_back(-1);
+  heap_insert(v);
+  return v;
+}
+
+bool Solver::add_clause(Clause clause) {
+  MCMC_REQUIRE_MSG(current_level() == 0, "clauses must be added at level 0");
+  if (!ok_) return false;
+
+  // Simplify: sort, drop duplicates, detect tautologies and false literals.
+  std::sort(clause.begin(), clause.end());
+  Clause out;
+  Lit prev = Lit::from_code(-2);
+  for (const Lit l : clause) {
+    MCMC_REQUIRE_MSG(l.var() < num_vars(), "literal references unknown var");
+    if (l == prev) continue;
+    if (prev.code() >= 0 && l == ~prev) return true;  // tautology: x | ~x
+    const LBool v = value(l);
+    if (v == LBool::True) return true;  // already satisfied at level 0
+    if (v == LBool::False) {
+      prev = l;
+      continue;  // literal permanently false; drop it
+    }
+    out.push_back(l);
+    prev = l;
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], kNoReason);
+    if (propagate() != kNoReason) ok_ = false;
+    return ok_;
+  }
+  clauses_.push_back({std::move(out), /*learned=*/false, 0.0});
+  attach_clause(static_cast<ClauseRef>(clauses_.size() - 1));
+  return true;
+}
+
+void Solver::attach_clause(ClauseRef cref) {
+  const auto& c = clauses_[static_cast<std::size_t>(cref)].lits;
+  MCMC_CHECK(c.size() >= 2);
+  watches_[static_cast<std::size_t>((~c[0]).code())].push_back({cref});
+  watches_[static_cast<std::size_t>((~c[1]).code())].push_back({cref});
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  MCMC_CHECK(value(l) == LBool::Undef);
+  assign_[static_cast<std::size_t>(l.var())] = lbool_from(!l.negated());
+  var_info_[static_cast<std::size_t>(l.var())] = {reason, current_level()};
+  saved_phase_[static_cast<std::size_t>(l.var())] = !l.negated();
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    auto& watch_list = watches_[static_cast<std::size_t>(p.code())];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const ClauseRef cref = watch_list[i].cref;
+      auto& lits = clauses_[static_cast<std::size_t>(cref)].lits;
+      // Normalize so lits[0] is the other watched literal.
+      if (lits[0] == ~p) std::swap(lits[0], lits[1]);
+      MCMC_CHECK(lits[1] == ~p);
+      if (value(lits[0]) == LBool::True) {
+        watch_list[keep++] = watch_list[i];
+        continue;
+      }
+      // Find a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (value(lits[k]) != LBool::False) {
+          std::swap(lits[1], lits[k]);
+          watches_[static_cast<std::size_t>((~lits[1]).code())].push_back(
+              {cref});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting.
+      watch_list[keep++] = watch_list[i];
+      if (value(lits[0]) == LBool::False) {
+        // Conflict: restore remaining watchers and bail out.
+        for (std::size_t k = i + 1; k < watch_list.size(); ++k) {
+          watch_list[keep++] = watch_list[k];
+        }
+        watch_list.resize(keep);
+        propagate_head_ = trail_.size();
+        return cref;
+      }
+      enqueue(lits[0], cref);
+    }
+    watch_list.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::bump_var(Var v) {
+  activity_[static_cast<std::size_t>(v)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(v)] > kActivityRescale) {
+    for (auto& a : activity_) a /= kActivityRescale;
+    var_inc_ /= kActivityRescale;
+  }
+  const std::int32_t pos = heap_pos_[static_cast<std::size_t>(v)];
+  if (pos >= 0) heap_sift_up(static_cast<std::size_t>(pos));
+}
+
+void Solver::decay_var_activity() { var_inc_ /= kVarDecay; }
+
+void Solver::analyze(ClauseRef conflict, Clause& learnt, int& backtrack_level) {
+  learnt.clear();
+  learnt.push_back(Lit::from_code(-2));  // slot for the asserting literal
+  int counter = 0;
+  Lit p = Lit::from_code(-2);
+  std::size_t trail_index = trail_.size();
+  ClauseRef reason = conflict;
+
+  for (;;) {
+    MCMC_CHECK(reason != kNoReason);
+    const auto& c = clauses_[static_cast<std::size_t>(reason)].lits;
+    const std::size_t start = (p.code() < 0) ? 0 : 1;
+    for (std::size_t i = start; i < c.size(); ++i) {
+      const Lit q = c[i];
+      const auto vi = static_cast<std::size_t>(q.var());
+      const int lvl = var_info_[vi].level;
+      if (!seen_[vi] && lvl > 0) {
+        seen_[vi] = true;
+        analyze_clear_.push_back(q);
+        bump_var(q.var());
+        if (lvl >= current_level()) {
+          ++counter;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    // Walk back the trail to the next marked literal.
+    do {
+      MCMC_CHECK(trail_index > 0);
+      p = trail_[--trail_index];
+    } while (!seen_[static_cast<std::size_t>(p.var())]);
+    seen_[static_cast<std::size_t>(p.var())] = false;
+    --counter;
+    if (counter == 0) break;
+    reason = var_info_[static_cast<std::size_t>(p.var())].reason;
+    // Re-normalize reason clause so the propagated literal is first.
+    if (reason != kNoReason) {
+      auto& rc = clauses_[static_cast<std::size_t>(reason)].lits;
+      if (rc[0] != p) {
+        const auto it = std::find(rc.begin(), rc.end(), p);
+        MCMC_CHECK(it != rc.end());
+        std::swap(rc[0], *it);
+      }
+    }
+  }
+  learnt[0] = ~p;
+
+  // Clause minimization: delete literals implied by the rest of the clause.
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    const int lvl = var_info_[static_cast<std::size_t>(learnt[i].var())].level;
+    abstract_levels |= 1u << (lvl & 31);
+  }
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    const auto vi = static_cast<std::size_t>(learnt[i].var());
+    if (var_info_[vi].reason == kNoReason ||
+        !lit_redundant(learnt[i], abstract_levels)) {
+      learnt[keep++] = learnt[i];
+    }
+  }
+  learnt.resize(keep);
+
+  // Compute the backtrack level: second-highest level in the clause.
+  if (learnt.size() == 1) {
+    backtrack_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (var_info_[static_cast<std::size_t>(learnt[i].var())].level >
+          var_info_[static_cast<std::size_t>(learnt[max_i].var())].level) {
+        max_i = i;
+      }
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    backtrack_level =
+        var_info_[static_cast<std::size_t>(learnt[1].var())].level;
+  }
+
+  for (const Lit l : analyze_clear_) {
+    seen_[static_cast<std::size_t>(l.var())] = false;
+  }
+  analyze_clear_.clear();
+}
+
+bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  const std::size_t top = analyze_clear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const auto vi = static_cast<std::size_t>(q.var());
+    const ClauseRef reason = var_info_[vi].reason;
+    MCMC_CHECK(reason != kNoReason);
+    const auto& c = clauses_[static_cast<std::size_t>(reason)].lits;
+    for (std::size_t i = 1; i < c.size(); ++i) {
+      const Lit r = c[i];
+      const auto ri = static_cast<std::size_t>(r.var());
+      const int lvl = var_info_[ri].level;
+      if (seen_[ri] || lvl == 0) continue;
+      if (var_info_[ri].reason == kNoReason ||
+          ((1u << (lvl & 31)) & abstract_levels) == 0) {
+        // Not removable: undo marks made during this probe.
+        for (std::size_t k = top; k < analyze_clear_.size(); ++k) {
+          seen_[static_cast<std::size_t>(analyze_clear_[k].var())] = false;
+        }
+        analyze_clear_.resize(top);
+        return false;
+      }
+      seen_[ri] = true;
+      analyze_clear_.push_back(r);
+      analyze_stack_.push_back(r);
+    }
+  }
+  return true;
+}
+
+void Solver::backtrack(int level) {
+  if (current_level() <= level) return;
+  const std::size_t bound = static_cast<std::size_t>(trail_lim_[level]);
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const Var v = trail_[i].var();
+    assign_[static_cast<std::size_t>(v)] = LBool::Undef;
+    var_info_[static_cast<std::size_t>(v)].reason = kNoReason;
+    if (heap_pos_[static_cast<std::size_t>(v)] < 0) heap_insert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(static_cast<std::size_t>(level));
+  propagate_head_ = trail_.size();
+}
+
+Lit Solver::pick_branch_lit() {
+  for (;;) {
+    const auto v = heap_pop();
+    if (!v.has_value()) return Lit::from_code(-2);
+    if (value(*v) == LBool::Undef) {
+      return Lit(*v, !saved_phase_[static_cast<std::size_t>(*v)]);
+    }
+  }
+}
+
+std::uint64_t Solver::luby(std::uint64_t i) {
+  // Finite-subsequence trick: find k with 2^(k-1) <= i+1 < 2^k.
+  std::uint64_t k = 1;
+  while ((1ULL << k) < i + 2) ++k;
+  for (;;) {
+    if (i + 2 == (1ULL << k)) return 1ULL << (k - 1);
+    // Recurse into the prefix.
+    i -= (1ULL << (k - 1)) - 1;
+    k = 1;
+    while ((1ULL << k) < i + 2) ++k;
+  }
+}
+
+bool Solver::solve(const std::vector<Lit>& assumptions) {
+  if (!ok_) return false;
+  backtrack(0);
+  rebuild_order_heap();
+
+  std::uint64_t conflicts_until_restart = kRestartBase * luby(stats_.restarts);
+  std::uint64_t conflicts_this_restart = 0;
+
+  for (;;) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (current_level() == 0) {
+        ok_ = false;
+        return false;
+      }
+      Clause learnt;
+      int backtrack_level = 0;
+      analyze(conflict, learnt, backtrack_level);
+      backtrack(backtrack_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoReason);
+      } else {
+        clauses_.push_back({learnt, /*learned=*/true, 0.0});
+        const auto cref = static_cast<ClauseRef>(clauses_.size() - 1);
+        attach_clause(cref);
+        enqueue(learnt[0], cref);
+      }
+      ++stats_.learned_clauses;
+      stats_.learned_literals += learnt.size();
+      decay_var_activity();
+      continue;
+    }
+
+    if (conflicts_this_restart >= conflicts_until_restart) {
+      ++stats_.restarts;
+      conflicts_this_restart = 0;
+      conflicts_until_restart = kRestartBase * luby(stats_.restarts);
+      backtrack(0);
+      continue;
+    }
+
+    // Apply any assumptions that are not yet decided.
+    bool assumption_pending = false;
+    for (const Lit a : assumptions) {
+      const LBool v = value(a);
+      if (v == LBool::True) continue;
+      if (v == LBool::False) {
+        // Assumption contradicts the formula under previous assumptions.
+        backtrack(0);
+        return false;
+      }
+      trail_lim_.push_back(static_cast<int>(trail_.size()));
+      enqueue(a, kNoReason);
+      ++stats_.decisions;
+      assumption_pending = true;
+      break;
+    }
+    if (assumption_pending) continue;
+
+    const Lit next = pick_branch_lit();
+    if (next.code() < 0) {
+      // All variables assigned: record the model.
+      model_ = assign_;
+      backtrack(0);
+      return true;
+    }
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(next, kNoReason);
+  }
+}
+
+bool Solver::model_value(Var v) const {
+  MCMC_REQUIRE(v >= 0 && static_cast<std::size_t>(v) < model_.size());
+  MCMC_REQUIRE_MSG(model_[static_cast<std::size_t>(v)] != LBool::Undef,
+                   "no model available");
+  return model_[static_cast<std::size_t>(v)] == LBool::True;
+}
+
+void Solver::rebuild_order_heap() {
+  heap_.clear();
+  std::fill(heap_pos_.begin(), heap_pos_.end(), -1);
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (value(v) == LBool::Undef) heap_insert(v);
+  }
+}
+
+void Solver::heap_insert(Var v) {
+  if (heap_pos_[static_cast<std::size_t>(v)] >= 0) return;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  const Var v = heap_[i];
+  const double act = activity_[static_cast<std::size_t>(v)];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (activity_[static_cast<std::size_t>(heap_[parent])] >= act) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[static_cast<std::size_t>(heap_[i])] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  const Var v = heap_[i];
+  const double act = activity_[static_cast<std::size_t>(v)];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= heap_.size()) break;
+    if (child + 1 < heap_.size() &&
+        activity_[static_cast<std::size_t>(heap_[child + 1])] >
+            activity_[static_cast<std::size_t>(heap_[child])]) {
+      ++child;
+    }
+    if (activity_[static_cast<std::size_t>(heap_[child])] <= act) break;
+    heap_[i] = heap_[child];
+    heap_pos_[static_cast<std::size_t>(heap_[i])] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+std::optional<Var> Solver::heap_pop() {
+  if (heap_.empty()) return std::nullopt;
+  const Var top = heap_[0];
+  heap_pos_[static_cast<std::size_t>(top)] = -1;
+  if (heap_.size() > 1) {
+    heap_[0] = heap_.back();
+    heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
+    heap_.pop_back();
+    heap_sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+  return top;
+}
+
+}  // namespace mcmc::sat

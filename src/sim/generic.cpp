@@ -1,0 +1,154 @@
+#include "sim/generic.h"
+
+#include <map>
+#include <sstream>
+
+#include "core/analysis.h"
+#include "util/check.h"
+
+namespace mcmc::sim {
+
+namespace {
+
+using core::Analysis;
+using core::EventId;
+using core::Loc;
+using core::Op;
+
+class GenericMachine final : public Machine {
+ public:
+  explicit GenericMachine(core::MemoryModel model)
+      : model_(std::move(model)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "generic(" + model_.name() + ")";
+  }
+
+  [[nodiscard]] std::set<RegValuation> reachable_outcomes(
+      const core::Program& program) const override {
+    const Analysis an(program);
+    State init;
+    init.executed.assign(static_cast<std::size_t>(an.num_events()), false);
+    std::set<RegValuation> outcomes;
+    std::set<std::string> visited;
+    explore(an, init, visited, outcomes);
+    return outcomes;
+  }
+
+ private:
+  struct State {
+    std::vector<bool> executed;
+    std::map<Loc, int> memory;
+    std::map<core::Reg, int> regs;
+
+    [[nodiscard]] std::string key() const {
+      std::ostringstream os;
+      for (const bool b : executed) os << (b ? '1' : '0');
+      os << ';';
+      for (const auto& [l, v] : memory) os << l << ':' << v << ',';
+      os << ';';
+      for (const auto& [r, v] : regs) os << r << ':' << v << ',';
+      return os.str();
+    }
+  };
+
+  /// An event may issue once every F-ordered predecessor in its thread
+  /// has executed.
+  [[nodiscard]] bool can_issue(const Analysis& an, const State& s,
+                               EventId e) const {
+    if (s.executed[static_cast<std::size_t>(e)]) return false;
+    for (EventId p = 0; p < an.num_events(); ++p) {
+      if (p == e || !an.po(p, e)) continue;
+      if (s.executed[static_cast<std::size_t>(p)]) continue;
+      if (model_.must_not_reorder(an, p, e)) return false;
+    }
+    // Register inputs must be available (their defining instruction
+    // executed); this keeps dependent instructions data-ready even under
+    // formulas that do not order them.
+    const auto& instr = *an.event(e).instr;
+    auto ready = [&](core::Reg r) {
+      if (r < 0) return true;
+      for (EventId p = 0; p < an.num_events(); ++p) {
+        if (an.event(p).dst == r) {
+          return static_cast<bool>(s.executed[static_cast<std::size_t>(p)]);
+        }
+      }
+      return false;
+    };
+    if (!ready(instr.addr_reg)) return false;
+    if ((instr.op == Op::DepConst || instr.op == Op::Branch ||
+         (instr.op == Op::Write && instr.value_from_reg)) &&
+        !ready(instr.src)) {
+      return false;
+    }
+    return true;
+  }
+
+  void execute(const Analysis& an, State& s, EventId e) const {
+    const auto& ev = an.event(e);
+    s.executed[static_cast<std::size_t>(e)] = true;
+    switch (ev.op) {
+      case Op::Write:
+        s.memory[ev.loc] = ev.value;
+        break;
+      case Op::Read: {
+        // Forward from the nearest program-order-earlier local write to
+        // the same address that has not executed yet; otherwise read the
+        // global memory.
+        int value = 0;
+        bool forwarded = false;
+        for (int i = ev.index - 1; i >= 0 && !forwarded; --i) {
+          const EventId p = an.event_id(ev.thread, i);
+          const auto& pe = an.event(p);
+          if (pe.op != Op::Write || pe.loc != ev.loc) continue;
+          if (!s.executed[static_cast<std::size_t>(p)]) {
+            value = pe.value;
+            forwarded = true;
+          }
+          break;  // nearest same-address write decides either way
+        }
+        if (!forwarded) {
+          const auto it = s.memory.find(ev.loc);
+          value = it == s.memory.end() ? 0 : it->second;
+        }
+        s.regs[ev.instr->dst] = value;
+        break;
+      }
+      case Op::DepConst:
+        s.regs[ev.instr->dst] = ev.value;
+        break;
+      case Op::Fence:
+      case Op::Branch:
+        break;
+    }
+  }
+
+  void explore(const Analysis& an, const State& s,
+               std::set<std::string>& visited,
+               std::set<RegValuation>& outcomes) const {
+    if (!visited.insert(s.key()).second) return;
+    bool terminal = true;
+    for (EventId e = 0; e < an.num_events(); ++e) {
+      if (!can_issue(an, s, e)) continue;
+      terminal = false;
+      State next = s;
+      execute(an, next, e);
+      explore(an, next, visited, outcomes);
+    }
+    if (terminal) {
+      RegValuation valuation;
+      for (const auto& [r, v] : s.regs) valuation[r] = v;
+      outcomes.insert(valuation);
+    }
+  }
+
+  core::MemoryModel model_;
+};
+
+}  // namespace
+
+std::unique_ptr<Machine> make_generic_machine(core::MemoryModel model) {
+  return std::make_unique<GenericMachine>(std::move(model));
+}
+
+}  // namespace mcmc::sim

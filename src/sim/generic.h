@@ -1,0 +1,30 @@
+// Generic F-guided reorder machine.
+//
+// An operational under-approximation for ANY model in the paper's class:
+// each thread may execute any pending instruction whose must-not-reorder
+// predecessors (program-order-earlier instructions x with F(x, i)) have
+// all executed; writes become globally visible immediately (store
+// atomicity); a read whose nearest program-order-earlier same-address
+// local write has not yet executed forwards that write's value.
+//
+// Soundness (every machine-reachable outcome is axiomatically allowed) is
+// established empirically by the property suite in
+// tests/generic_machine_test.cpp across all 90 explored models; the
+// machine is intentionally conservative and may under-approximate models
+// whose relaxations cannot be explained by in-order-visible reordering
+// plus forwarding (it is a validation oracle for the "allowed" direction,
+// not a complete semantics).
+#pragma once
+
+#include <memory>
+
+#include "core/model.h"
+#include "sim/machine.h"
+
+namespace mcmc::sim {
+
+/// Builds the F-guided machine for `model`.  The model is copied.
+[[nodiscard]] std::unique_ptr<Machine> make_generic_machine(
+    core::MemoryModel model);
+
+}  // namespace mcmc::sim

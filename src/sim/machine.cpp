@@ -1,0 +1,21 @@
+#include "sim/machine.h"
+
+namespace mcmc::sim {
+
+bool satisfies(const RegValuation& valuation, const core::Outcome& outcome) {
+  for (const auto& [reg, value] : outcome.constraints()) {
+    const auto it = valuation.find(reg);
+    if (it == valuation.end() || it->second != value) return false;
+  }
+  return true;
+}
+
+bool Machine::outcome_reachable(const core::Program& program,
+                                const core::Outcome& outcome) const {
+  for (const auto& valuation : reachable_outcomes(program)) {
+    if (satisfies(valuation, outcome)) return true;
+  }
+  return false;
+}
+
+}  // namespace mcmc::sim

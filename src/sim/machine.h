@@ -1,0 +1,43 @@
+// Operational machine interface.
+//
+// The axiomatic checker (src/core) is validated against independent
+// operational models: textbook machines for SC, TSO, PSO and IBM370 whose
+// semantics are not derived from the paper's axioms.  A machine
+// exhaustively explores its state space and reports every reachable final
+// register valuation; the differential test compares those sets with the
+// axiomatic allowed-outcome sets.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/outcome.h"
+#include "core/program.h"
+
+namespace mcmc::sim {
+
+/// Final register valuation (only registers written by reads or DepConst).
+using RegValuation = std::map<core::Reg, int>;
+
+/// An operational memory model with exhaustive exploration.
+class Machine {
+ public:
+  virtual ~Machine() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Every final register valuation some execution can produce.
+  [[nodiscard]] virtual std::set<RegValuation> reachable_outcomes(
+      const core::Program& program) const = 0;
+
+  /// True if some reachable valuation satisfies `outcome`.
+  [[nodiscard]] bool outcome_reachable(const core::Program& program,
+                                       const core::Outcome& outcome) const;
+};
+
+/// True if `valuation` satisfies every constraint in `outcome`.
+[[nodiscard]] bool satisfies(const RegValuation& valuation,
+                             const core::Outcome& outcome);
+
+}  // namespace mcmc::sim

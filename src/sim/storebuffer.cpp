@@ -1,0 +1,216 @@
+#include "sim/storebuffer.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mcmc::sim {
+
+namespace {
+
+using core::Loc;
+using core::Op;
+using core::Reg;
+
+/// One buffered store.
+struct BufferedStore {
+  Loc loc;
+  int value;
+};
+
+/// Full machine configuration.
+struct State {
+  std::vector<int> pc;                             // per thread
+  std::vector<std::vector<BufferedStore>> buffer;  // per thread
+  std::map<Loc, int> memory;
+  std::map<Reg, int> regs;
+
+  [[nodiscard]] std::string key() const {
+    std::ostringstream os;
+    for (const int p : pc) os << p << ',';
+    os << ';';
+    for (const auto& b : buffer) {
+      for (const auto& s : b) os << s.loc << ':' << s.value << ',';
+      os << '|';
+    }
+    os << ';';
+    for (const auto& [l, v] : memory) os << l << ':' << v << ',';
+    os << ';';
+    for (const auto& [r, v] : regs) os << r << ':' << v << ',';
+    return os.str();
+  }
+};
+
+class StoreBufferMachine final : public Machine {
+ public:
+  StoreBufferMachine(std::string name, BufferKind kind, bool forwarding)
+      : name_(std::move(name)), kind_(kind), forwarding_(forwarding) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] std::set<RegValuation> reachable_outcomes(
+      const core::Program& program) const override {
+    program.validate();
+    std::set<RegValuation> outcomes;
+    std::set<std::string> visited;
+    State init;
+    init.pc.assign(static_cast<std::size_t>(program.num_threads()), 0);
+    init.buffer.assign(static_cast<std::size_t>(program.num_threads()), {});
+    explore(program, init, visited, outcomes);
+    return outcomes;
+  }
+
+ private:
+  [[nodiscard]] int load_value(const State& s, int thread, Loc loc,
+                               bool& blocked) const {
+    blocked = false;
+    const auto& buf = s.buffer[static_cast<std::size_t>(thread)];
+    // Latest own buffered store to this location, if any.
+    for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
+      if (it->loc != loc) continue;
+      if (forwarding_) return it->value;
+      blocked = true;  // IBM370: wait until the store commits
+      return 0;
+    }
+    const auto it = s.memory.find(loc);
+    return it == s.memory.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] static Loc resolve_addr(const State& s,
+                                        const core::Instruction& instr) {
+    if (instr.addr_reg < 0) return instr.loc;
+    const auto it = s.regs.find(instr.addr_reg);
+    MCMC_CHECK_MSG(it != s.regs.end(), "unresolved address register");
+    return it->second;
+  }
+
+  [[nodiscard]] static int resolve_store_value(
+      const State& s, const core::Instruction& instr) {
+    if (!instr.value_from_reg) return instr.value;
+    const auto it = s.regs.find(instr.src);
+    MCMC_CHECK_MSG(it != s.regs.end(), "unresolved value register");
+    return it->second;
+  }
+
+  /// Which buffer positions may commit next.
+  [[nodiscard]] std::vector<std::size_t> committable(
+      const std::vector<BufferedStore>& buf) const {
+    std::vector<std::size_t> out;
+    if (buf.empty()) return out;
+    if (kind_ == BufferKind::Fifo) {
+      out.push_back(0);
+      return out;
+    }
+    // PerLocation: the first entry of each location.
+    std::map<Loc, bool> seen;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      if (!seen[buf[i].loc]) {
+        seen[buf[i].loc] = true;
+        out.push_back(i);
+      }
+    }
+    return out;
+  }
+
+  void explore(const core::Program& program, const State& s,
+               std::set<std::string>& visited,
+               std::set<RegValuation>& outcomes) const {
+    if (!visited.insert(s.key()).second) return;
+
+    bool terminal = true;
+    // Instruction steps.
+    for (int t = 0; t < program.num_threads(); ++t) {
+      const auto& th = program.thread(t);
+      const int pc = s.pc[static_cast<std::size_t>(t)];
+      if (pc >= static_cast<int>(th.size())) continue;
+      terminal = false;
+      const auto& instr = th[static_cast<std::size_t>(pc)];
+      State next = s;
+      ++next.pc[static_cast<std::size_t>(t)];
+      switch (instr.op) {
+        case Op::Read: {
+          bool blocked = false;
+          const Loc loc = resolve_addr(s, instr);
+          const int v = load_value(s, t, loc, blocked);
+          if (blocked) continue;
+          next.regs[instr.dst] = v;
+          break;
+        }
+        case Op::Write: {
+          const Loc loc = resolve_addr(s, instr);
+          const int v = resolve_store_value(s, instr);
+          if (kind_ == BufferKind::None) {
+            next.memory[loc] = v;
+          } else {
+            next.buffer[static_cast<std::size_t>(t)].push_back({loc, v});
+          }
+          break;
+        }
+        case Op::Fence:
+          if (!s.buffer[static_cast<std::size_t>(t)].empty()) continue;
+          break;
+        case Op::DepConst:
+          next.regs[instr.dst] = instr.value;
+          break;
+        case Op::Branch:
+          // Straight-line litmus programs: the branch is a marker only.
+          break;
+      }
+      explore(program, next, visited, outcomes);
+    }
+
+    // Commit steps.
+    for (int t = 0; t < program.num_threads(); ++t) {
+      const auto& buf = s.buffer[static_cast<std::size_t>(t)];
+      for (const std::size_t i : committable(buf)) {
+        terminal = false;
+        State next = s;
+        auto& nbuf = next.buffer[static_cast<std::size_t>(t)];
+        next.memory[buf[i].loc] = buf[i].value;
+        nbuf.erase(nbuf.begin() + static_cast<std::ptrdiff_t>(i));
+        explore(program, next, visited, outcomes);
+      }
+    }
+
+    if (terminal) {
+      RegValuation valuation;
+      for (const auto& [r, v] : s.regs) valuation[r] = v;
+      outcomes.insert(valuation);
+    }
+  }
+
+  std::string name_;
+  BufferKind kind_;
+  bool forwarding_;
+};
+
+}  // namespace
+
+std::unique_ptr<Machine> make_store_buffer_machine(std::string name,
+                                                   BufferKind kind,
+                                                   bool forwarding) {
+  return std::make_unique<StoreBufferMachine>(std::move(name), kind,
+                                              forwarding);
+}
+
+std::unique_ptr<Machine> sc_machine() {
+  return make_store_buffer_machine("SC-interleaving", BufferKind::None, false);
+}
+
+std::unique_ptr<Machine> tso_machine() {
+  return make_store_buffer_machine("TSO-storebuffer", BufferKind::Fifo, true);
+}
+
+std::unique_ptr<Machine> ibm370_machine() {
+  return make_store_buffer_machine("IBM370-storebuffer", BufferKind::Fifo,
+                                   false);
+}
+
+std::unique_ptr<Machine> pso_machine() {
+  return make_store_buffer_machine("PSO-storebuffer", BufferKind::PerLocation,
+                                   true);
+}
+
+}  // namespace mcmc::sim

@@ -1,0 +1,41 @@
+// Parametric store-buffer machine: the textbook operational semantics of
+// SC, TSO, PSO and IBM370.
+//
+//   SC      no store buffer; writes hit memory immediately
+//   TSO     per-thread FIFO store buffer with load forwarding
+//   IBM370  per-thread FIFO store buffer, NO forwarding: a load of a
+//           location buffered by its own thread blocks until the store
+//           commits (this is the paper's distinction between IBM370 and
+//           TSO/x86 — Figure 1's Test A)
+//   PSO     per-thread buffer that keeps FIFO order only per location
+//           (stores to different locations commit in any order), with
+//           forwarding
+//
+// A full fence blocks until the thread's buffer drains.  The machine
+// explores all interleavings and commit schedules exhaustively with
+// memoization, so `reachable_outcomes` is exact.
+#pragma once
+
+#include <memory>
+
+#include "sim/machine.h"
+
+namespace mcmc::sim {
+
+/// How buffered stores may commit.
+enum class BufferKind {
+  None,         ///< no buffering (SC)
+  Fifo,         ///< strictly in store order (TSO, IBM370)
+  PerLocation,  ///< in order per location only (PSO)
+};
+
+/// Builds a store-buffer machine.
+[[nodiscard]] std::unique_ptr<Machine> make_store_buffer_machine(
+    std::string name, BufferKind kind, bool forwarding);
+
+[[nodiscard]] std::unique_ptr<Machine> sc_machine();
+[[nodiscard]] std::unique_ptr<Machine> tso_machine();
+[[nodiscard]] std::unique_ptr<Machine> ibm370_machine();
+[[nodiscard]] std::unique_ptr<Machine> pso_machine();
+
+}  // namespace mcmc::sim

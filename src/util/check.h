@@ -1,0 +1,56 @@
+// Contract-checking helpers (C++ Core Guidelines I.6/I.8 style).
+//
+// MCMC_REQUIRE  -- precondition on a public API; throws std::invalid_argument.
+// MCMC_CHECK    -- internal invariant; throws std::logic_error.
+// MCMC_UNREACHABLE -- marks impossible control flow.
+//
+// These are always-on (not asserts): the library is a verification tool, so
+// a silently-wrong answer is strictly worse than an exception.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mcmc::util {
+
+[[noreturn]] inline void fail_require(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace mcmc::util
+
+#define MCMC_REQUIRE(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) ::mcmc::util::fail_require(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MCMC_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) ::mcmc::util::fail_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define MCMC_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) ::mcmc::util::fail_check(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MCMC_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) ::mcmc::util::fail_check(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define MCMC_UNREACHABLE(msg) \
+  ::mcmc::util::fail_check("unreachable", __FILE__, __LINE__, (msg))

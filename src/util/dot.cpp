@@ -1,0 +1,41 @@
+#include "util/dot.h"
+
+namespace mcmc::util {
+
+DotGraph::DotGraph(std::string name) : name_(std::move(name)) {}
+
+std::string DotGraph::quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void DotGraph::add_node(const std::string& id, const std::string& label) {
+  std::string line = "  " + quote(id);
+  if (!label.empty()) line += " [label=" + quote(label) + "]";
+  lines_.push_back(line + ";");
+}
+
+void DotGraph::add_edge(const std::string& from, const std::string& to,
+                        const std::string& label) {
+  std::string line = "  " + quote(from) + " -> " + quote(to);
+  if (!label.empty()) line += " [label=" + quote(label) + "]";
+  lines_.push_back(line + ";");
+}
+
+std::string DotGraph::to_string() const {
+  std::string out = "digraph " + quote(name_) + " {\n";
+  out += "  rankdir=BT;\n";
+  for (const auto& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mcmc::util

@@ -1,0 +1,31 @@
+// Minimal Graphviz DOT writer, used to emit the Figure-4 model lattice.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcmc::util {
+
+/// Accumulates nodes and edges and renders a `digraph`.
+class DotGraph {
+ public:
+  explicit DotGraph(std::string name);
+
+  /// Adds a node with an optional display label.
+  void add_node(const std::string& id, const std::string& label = "");
+
+  /// Adds a directed edge with an optional edge label.
+  void add_edge(const std::string& from, const std::string& to,
+                const std::string& label = "");
+
+  /// Renders DOT source.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static std::string quote(const std::string& s);
+
+  std::string name_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace mcmc::util

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// The library's property tests and randomized differential tests need a
+// reproducible source of randomness that is identical across platforms and
+// standard-library implementations; std::mt19937 seeded the same way is
+// portable, but distributions are not.  We therefore implement both the
+// generator and the few distributions we need.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace mcmc::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using rejection sampling (unbiased).
+  std::uint64_t below(std::uint64_t bound) {
+    MCMC_REQUIRE(bound > 0);
+    const std::uint64_t threshold = -bound % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  long long range(long long lo, long long hi) {
+    MCMC_REQUIRE(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<long long>(below(span));
+  }
+
+  /// Bernoulli trial with probability `num`/`den`.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    MCMC_REQUIRE(den > 0 && num <= den);
+    return below(den) < num;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace mcmc::util

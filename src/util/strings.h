@@ -1,0 +1,35 @@
+// Small string helpers shared across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcmc::util {
+
+/// Splits `s` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits `s` on runs of whitespace, dropping empty fields.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// Joins `parts` with `sep` between elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Removes leading and trailing whitespace.
+[[nodiscard]] std::string trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a (possibly signed) decimal integer; throws on malformed input.
+[[nodiscard]] long long parse_int(std::string_view s);
+
+/// Pads `s` with spaces on the right to at least `width` characters.
+[[nodiscard]] std::string pad_right(std::string s, std::size_t width);
+
+/// Pads `s` with spaces on the left to at least `width` characters.
+[[nodiscard]] std::string pad_left(std::string s, std::size_t width);
+
+}  // namespace mcmc::util

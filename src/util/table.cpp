@@ -1,0 +1,45 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace mcmc::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MCMC_REQUIRE(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  MCMC_REQUIRE_MSG(row.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += (c == 0) ? "| " : " | ";
+      out += pad_right(row[c], width[c]);
+    }
+    out += " |\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += (c == 0) ? "|-" : "-|-";
+    out += std::string(width[c], '-');
+  }
+  out += "-|\n";
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+}  // namespace mcmc::util

@@ -1,0 +1,32 @@
+// Plain-text table formatter used by the benchmark harnesses to print the
+// paper's tables and figure data in aligned columns.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcmc::util {
+
+/// Builds an aligned, pipe-separated text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with a header underline and aligned columns.
+  [[nodiscard]] std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t) {
+    return os << t.to_string();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcmc::util

@@ -1,0 +1,28 @@
+// Wall-clock timer for the experiment harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace mcmc::util {
+
+/// Measures elapsed wall-clock time since construction or last reset.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds as a double.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds as a double.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mcmc::util

@@ -1,0 +1,75 @@
+// Control-dependency extension tests.
+//
+// The paper's exploration omits ControlDep ("not implemented but
+// supported by our framework"); here we exercise the framework support:
+// RMO with control dependencies must forbid branch-guarded relaxations
+// that RMO-without-control-dependencies allows.
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/checker.h"
+#include "litmus/catalog.h"
+#include "models/zoo.h"
+
+namespace mcmc {
+namespace {
+
+bool allowed(const litmus::LitmusTest& t, const core::MemoryModel& m) {
+  const core::Analysis an(t.program());
+  return core::is_allowed(an, m, t.outcome());
+}
+
+TEST(ControlDeps, CtrlLbSeparatesRmoFromRmoNoCtrl) {
+  // LB with branch-guarded writes: the write is control-dependent on the
+  // read, so full RMO orders the pair and forbids the outcome.
+  EXPECT_FALSE(allowed(litmus::ctrl_lb(), models::rmo()));
+  EXPECT_TRUE(allowed(litmus::ctrl_lb(), models::rmo_no_ctrl()));
+}
+
+TEST(ControlDeps, CtrlMpSeparatesRmoFromRmoNoCtrl) {
+  EXPECT_FALSE(allowed(litmus::ctrl_mp(), models::rmo()));
+  EXPECT_TRUE(allowed(litmus::ctrl_mp(), models::rmo_no_ctrl()));
+}
+
+TEST(ControlDeps, PlainVariantsDoNotSeparateThem) {
+  // Without branches the two RMO variants agree.
+  EXPECT_EQ(allowed(litmus::load_buffering(), models::rmo()),
+            allowed(litmus::load_buffering(), models::rmo_no_ctrl()));
+  EXPECT_EQ(allowed(litmus::message_passing(), models::rmo()),
+            allowed(litmus::message_passing(), models::rmo_no_ctrl()));
+}
+
+TEST(ControlDeps, BranchDoesNotOrderUnrelatedInstructions) {
+  // A branch whose condition does not depend on the first read creates no
+  // control dependency between the reads.
+  core::Program p;
+  p.add_thread({core::make_write(0, 1), core::make_fence(),
+                core::make_write(1, 2)});
+  p.add_thread({core::make_read(1, 1), core::make_read(2, 3),
+                core::make_branch(3), core::make_read(0, 2)});
+  const core::Analysis an(p);
+  // r2's read is control-dependent on r3's read, not on r1's.
+  EXPECT_FALSE(an.ctrl_dep(an.event_id(1, 0), an.event_id(1, 3)));
+  EXPECT_TRUE(an.ctrl_dep(an.event_id(1, 1), an.event_id(1, 3)));
+  // So RMO still allows the MP relaxation through r1.
+  core::Outcome o;
+  o.require(1, 2);
+  o.require(2, 0);
+  EXPECT_TRUE(core::is_allowed(an, models::rmo(), o));
+}
+
+TEST(ControlDeps, StrongModelsForbidCtrlTestsRegardless) {
+  for (const auto& t : {litmus::ctrl_lb(), litmus::ctrl_mp()}) {
+    EXPECT_FALSE(allowed(t, models::sc())) << t.name();
+    EXPECT_FALSE(allowed(t, models::tso())) << t.name();
+  }
+}
+
+TEST(ControlDeps, AlphaLikeAllowsBothCtrlTests) {
+  // The Alpha-like variant has no dependency terms at all.
+  EXPECT_TRUE(allowed(litmus::ctrl_lb(), models::alpha_variant()));
+  EXPECT_TRUE(allowed(litmus::ctrl_mp(), models::alpha_variant()));
+}
+
+}  // namespace
+}  // namespace mcmc

@@ -1,0 +1,73 @@
+// Tests for model fingerprinting: recovering a model's coordinates in the
+// 90-model space from litmus verdicts alone.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "explore/fingerprint.h"
+#include "models/zoo.h"
+
+namespace mcmc::explore {
+namespace {
+
+bool contains(const std::vector<ModelChoices>& v, const ModelChoices& c) {
+  return std::find(v.begin(), v.end(), c) != v.end();
+}
+
+TEST(Fingerprint, RecoversNamedHardwareModels) {
+  struct Case {
+    core::MemoryModel model;
+    ModelChoices expected;
+  };
+  const Case cases[] = {
+      {models::sc(), sc_choices()},
+      {models::tso(), tso_choices()},
+      {models::pso(), pso_choices()},
+      {models::ibm370(), ibm370_choices()},
+      {models::rmo_no_ctrl(), rmo_choices()},
+      {models::alpha_variant(), alpha_choices()},
+  };
+  for (const auto& c : cases) {
+    const auto fp = fingerprint_model(c.model);
+    EXPECT_TRUE(fp.verified) << c.model.name();
+    EXPECT_TRUE(contains(fp.candidates, c.expected))
+        << c.model.name() << " -> "
+        << (fp.candidates.empty() ? "none" : fp.candidates[0].name());
+  }
+}
+
+TEST(Fingerprint, AlphaVariantIsAmbiguousExactlyAsThePaperPredicts) {
+  // Alpha-like = M1110 sits in an equivalent pair (M1010 == M1110), so the
+  // fingerprint must return both WR candidates.
+  const auto fp = fingerprint_model(models::alpha_variant());
+  ASSERT_EQ(fp.candidates.size(), 2u);
+  EXPECT_TRUE(contains(fp.candidates, ModelChoices{1, 0, 1, 0}));
+  EXPECT_TRUE(contains(fp.candidates, ModelChoices{1, 1, 1, 0}));
+  EXPECT_TRUE(fp.verified);
+}
+
+class FingerprintAllModels : public ::testing::TestWithParam<int> {};
+
+TEST_P(FingerprintAllModels, RoundTripsThroughVerdicts) {
+  const auto space = model_space(true);
+  const auto& choices = space[static_cast<std::size_t>(GetParam())];
+  const auto fp = fingerprint_model(choices.to_model());
+  EXPECT_TRUE(fp.verified) << choices.name();
+  EXPECT_TRUE(contains(fp.candidates, choices)) << choices.name();
+  // Ambiguity arises exactly for the paper's eight equivalent pairs:
+  // wr in {0,1} with both detection routes closed.
+  const bool l8_route = choices.rr >= 2;
+  const bool l9_route = choices.ww == 1 && choices.rw >= 3;
+  const bool ambiguous =
+      (choices.wr == 0 || choices.wr == 1) && !l8_route && !l9_route;
+  EXPECT_EQ(fp.candidates.size(), ambiguous ? 2u : 1u) << choices.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, FingerprintAllModels, ::testing::Range(0, 90),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return model_space(true)[static_cast<std::size_t>(info.param)].name();
+    });
+
+}  // namespace
+}  // namespace mcmc::explore

@@ -1,0 +1,99 @@
+// Tests for the must-not-reorder formula language, including the paper's
+// Section 3.3 construction (n special fences that only order as a chain),
+// which shows local segments can need unboundedly many non-memory-access
+// instructions for exotic predicate sets.
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/checker.h"
+#include "core/formula.h"
+#include "core/model.h"
+#include "litmus/catalog.h"
+#include "models/special_fence.h"
+
+namespace mcmc::core {
+namespace {
+
+TEST(Formula, ConstantsEvaluate) {
+  const auto t = litmus::store_buffering();
+  const Analysis an(t.program());
+  EXPECT_TRUE(f_true().eval(an, 0, 1));
+  EXPECT_FALSE(f_false().eval(an, 0, 1));
+}
+
+TEST(Formula, AtomsMatchAnalysis) {
+  const auto t = litmus::test_a();  // T1: W X; Fence; R Y | T2: W Y; R Y; R X
+  const Analysis an(t.program());
+  EXPECT_TRUE(write_x().eval(an, 0, 1));
+  EXPECT_TRUE(fence_y().eval(an, 0, 1));
+  EXPECT_TRUE(fence_x().eval(an, 1, 2));
+  EXPECT_TRUE(read_y().eval(an, 1, 2));
+  EXPECT_TRUE(same_addr().eval(an, 3, 4));   // W Y ; R Y
+  EXPECT_FALSE(same_addr().eval(an, 3, 5));  // W Y ; R X
+}
+
+TEST(Formula, ConjunctionAndDisjunctionShortCircuitCorrectly) {
+  const auto t = litmus::test_a();
+  const Analysis an(t.program());
+  EXPECT_TRUE((write_x() && fence_y()).eval(an, 0, 1));
+  EXPECT_FALSE((write_x() && read_y()).eval(an, 0, 1));
+  EXPECT_TRUE((read_x() || fence_y()).eval(an, 0, 1));
+  EXPECT_FALSE((read_x() || read_y()).eval(an, 0, 1));
+}
+
+TEST(Formula, PrintsReadably) {
+  const Formula f =
+      (write_x() && write_y()) || read_x() || fence_x() || fence_y();
+  EXPECT_EQ(f.to_string(),
+            "(Write(x) & Write(y)) | Read(x) | Fence(x) | Fence(y)");
+  EXPECT_EQ(f_true().to_string(), "true");
+  EXPECT_EQ(data_dep().to_string(), "DataDep(x,y)");
+}
+
+TEST(Formula, CustomPredicateEvaluates) {
+  // Order only pairs whose thread is 0.
+  const Formula f = Formula::custom(
+      "FirstThread",
+      [](const Analysis& an, EventId x, EventId) {
+        return an.event(x).thread == 0;
+      });
+  const auto t = litmus::store_buffering();
+  const Analysis an(t.program());
+  EXPECT_TRUE(f.eval(an, 0, 1));
+  EXPECT_FALSE(f.eval(an, 2, 3));
+  EXPECT_EQ(f.to_string(), "FirstThread(x,y)");
+}
+
+// ---------------------------------------------------------------------------
+// Section 3.3: the special-fence chain (construction in
+// src/models/special_fence.h).  F1 = SameAddr | special orders a thread
+// only through a complete chain Read, f1, ..., fn, Write, so contrasting
+// it from F2 = SameAddr needs a local segment of n+2 instructions.
+// ---------------------------------------------------------------------------
+
+class SpecialFenceChain : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecialFenceChain, OnlyTheFullChainOrders) {
+  const int n = GetParam();
+  const MemoryModel f1 = models::special_fence_chain(n);
+  const MemoryModel f2 = models::same_addr_only();
+  // With fewer than n fences both models allow the LB outcome...
+  for (int fences = 0; fences < n; ++fences) {
+    const auto t = models::lb_with_fence_chain(fences);
+    const Analysis an(t.program());
+    EXPECT_TRUE(is_allowed(an, f1, t.outcome())) << "fences=" << fences;
+    EXPECT_TRUE(is_allowed(an, f2, t.outcome())) << "fences=" << fences;
+  }
+  // ...with the full chain of n fences, F1 forbids and F2 still allows:
+  // the contrasting litmus test needs a local segment of n+2 instructions.
+  const auto t = models::lb_with_fence_chain(n);
+  const Analysis an(t.program());
+  EXPECT_FALSE(is_allowed(an, f1, t.outcome()));
+  EXPECT_TRUE(is_allowed(an, f2, t.outcome()));
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainLengths, SpecialFenceChain,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace mcmc::core

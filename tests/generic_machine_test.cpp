@@ -1,0 +1,106 @@
+// Soundness of the generic F-guided machine: everything it can reach must
+// be axiomatically allowed, for every model in the 90-model space.  For
+// the four models with dedicated textbook machines we additionally check
+// exact agreement between the generic machine and the axioms on the
+// catalog programs.
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/checker.h"
+#include "enumeration/naive.h"
+#include "explore/space.h"
+#include "litmus/catalog.h"
+#include "models/zoo.h"
+#include "sim/generic.h"
+
+namespace mcmc {
+namespace {
+
+core::Outcome to_outcome(const sim::RegValuation& valuation) {
+  core::Outcome o;
+  for (const auto& [reg, value] : valuation) o.require(reg, value);
+  return o;
+}
+
+void expect_sound(const core::Program& program,
+                  const core::MemoryModel& model, const char* tag) {
+  const auto machine = sim::make_generic_machine(model);
+  const core::Analysis an(program);
+  for (const auto& valuation : machine->reachable_outcomes(program)) {
+    const auto outcome = to_outcome(valuation);
+    EXPECT_TRUE(core::is_allowed(an, model, outcome))
+        << tag << " under " << model.name() << "\n"
+        << program.to_string() << "machine outcome: " << outcome.to_string();
+  }
+}
+
+class GenericMachineSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(GenericMachineSoundness, CatalogOutcomesAreAxiomaticallyAllowed) {
+  const auto space = explore::model_space(true);
+  const auto model =
+      space[static_cast<std::size_t>(GetParam())].to_model();
+  for (const auto& t : litmus::full_catalog()) {
+    if (t.program().num_threads() > 2) continue;  // keep the sweep fast
+    expect_sound(t.program(), model, t.name().c_str());
+  }
+}
+
+// Every 5th model keeps the sweep quick while covering all digit values.
+INSTANTIATE_TEST_SUITE_P(SampledSpace, GenericMachineSoundness,
+                         ::testing::Range(0, 90, 5));
+
+TEST(GenericMachineSoundness, RandomProgramsUnderNamedModels) {
+  enumeration::NaiveOptions options;
+  options.num_locations = 2;
+  const auto tests = enumeration::sample_naive_tests(options, 20, 2024);
+  for (const auto& t : tests) {
+    for (const auto& model : models::all_named_models()) {
+      expect_sound(t.program(), model, t.name().c_str());
+    }
+  }
+}
+
+TEST(GenericMachine, RealizesStoreForwardingUnderTso) {
+  // Figure 1's Test A: the generic machine with F_TSO must reach the
+  // forwarding outcome (this is what separates it from a plain
+  // permutation machine).
+  const auto t = litmus::test_a();
+  const auto machine = sim::make_generic_machine(models::tso());
+  EXPECT_TRUE(machine->outcome_reachable(t.program(), t.outcome()));
+}
+
+TEST(GenericMachine, StaysSequentialForSc) {
+  const auto machine = sim::make_generic_machine(models::sc());
+  for (const auto& t :
+       {litmus::store_buffering(), litmus::message_passing(),
+        litmus::load_buffering(), litmus::corr()}) {
+    EXPECT_FALSE(machine->outcome_reachable(t.program(), t.outcome()))
+        << t.name();
+  }
+}
+
+TEST(GenericMachine, MatchesAxiomsExactlyForScOnCatalog) {
+  // For SC the machine is complete as well as sound: compare the full
+  // reachable set against the axioms.
+  const auto machine = sim::make_generic_machine(models::sc());
+  for (const auto& t : litmus::full_catalog()) {
+    if (t.program().num_threads() > 2) continue;
+    const core::Analysis an(t.program());
+    // Soundness direction.
+    for (const auto& valuation :
+         machine->reachable_outcomes(t.program())) {
+      EXPECT_TRUE(core::is_allowed(an, models::sc(), to_outcome(valuation)))
+          << t.name();
+    }
+    // Completeness direction: the test's own outcome.
+    const bool axiomatic =
+        core::is_allowed(an, models::sc(), t.outcome());
+    const bool machine_reaches =
+        machine->outcome_reachable(t.program(), t.outcome());
+    EXPECT_EQ(axiomatic, machine_reaches) << t.name();
+  }
+}
+
+}  // namespace
+}  // namespace mcmc

@@ -1,0 +1,196 @@
+// Parser/printer tests: grammar coverage, diagnostics, and round-trips
+// over the whole catalog.
+#include <gtest/gtest.h>
+
+#include "litmus/catalog.h"
+#include "litmus/parser.h"
+
+namespace mcmc::litmus {
+namespace {
+
+TEST(Parser, ParsesFigure1TestA) {
+  const auto t = parse_test(R"(
+name: TestA
+thread:
+  Write X <- 1
+  Fence
+  Read Y -> r1
+thread:
+  Write Y <- 2
+  Read Y -> r2
+  Read X -> r3
+outcome: r1=0 r2=2 r3=0
+)");
+  EXPECT_EQ(t.name(), "TestA");
+  EXPECT_EQ(t.program().num_threads(), 2);
+  EXPECT_EQ(t.program().size(), 6);
+  EXPECT_EQ(t.program().num_memory_accesses(), 5);
+  EXPECT_EQ(t.outcome().required(1), 0);
+  EXPECT_EQ(t.outcome().required(2), 2);
+  EXPECT_EQ(t.outcome().required(3), 0);
+  // Structural equality against the catalog version.
+  EXPECT_TRUE(t.program() == test_a().program());
+  EXPECT_TRUE(t.outcome() == test_a().outcome());
+}
+
+TEST(Parser, ParsesDependencyIdiom) {
+  const auto t = parse_test(R"(
+name: deps
+thread:
+  Read Y -> r1
+  r3 = r1 - r1 + X
+  Read [r3] -> r2
+thread:
+  Write X <- 1
+  Write Y <- 1
+outcome: r1=1 r2=0
+)");
+  const auto& th = t.program().thread(0);
+  ASSERT_EQ(th.size(), 3u);
+  EXPECT_EQ(th[1].op, core::Op::DepConst);
+  EXPECT_EQ(th[1].value, 0);  // X
+  EXPECT_EQ(th[2].addr_reg, 3);
+}
+
+TEST(Parser, ParsesCompactDependencySpelling) {
+  const auto t = parse_test(R"(
+name: deps2
+thread:
+  Read X -> r1
+  r2 = r1-r1+1
+  Write Y <- r2
+outcome: r1=0
+)");
+  const auto& th = t.program().thread(0);
+  EXPECT_EQ(th[1].op, core::Op::DepConst);
+  EXPECT_EQ(th[1].value, 1);
+  EXPECT_TRUE(th[2].value_from_reg);
+}
+
+TEST(Parser, ParsesBranchAndIndirectStore) {
+  const auto t = parse_test(R"(
+name: br
+thread:
+  Read X -> r1
+  Branch r1
+  r2 = r1 - r1 + Y
+  Write [r2] <- 5
+outcome: r1=0
+)");
+  const auto& th = t.program().thread(0);
+  EXPECT_EQ(th[1].op, core::Op::Branch);
+  EXPECT_EQ(th[3].op, core::Op::Write);
+  EXPECT_EQ(th[3].addr_reg, 2);
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnored) {
+  const auto t = parse_test(R"(
+# leading comment
+name: c
+
+thread:
+  Write X <- 1   # trailing comment
+outcome: # nothing
+)");
+  EXPECT_EQ(t.program().size(), 1);
+}
+
+TEST(Parser, DiagnosticsCarryLineNumbers) {
+  try {
+    (void)parse_test("name: x\nthread:\n  Frobnicate X\noutcome:\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Parser, RejectsMalformedInputs) {
+  EXPECT_THROW((void)parse_test(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_test("name: x\noutcome: r1=0\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_test("name: x\nthread:\n  Read X -> r1\n"),
+               std::invalid_argument);  // no outcome
+  EXPECT_THROW((void)parse_test("name: x\n  Read X -> r1\noutcome:\n"),
+               std::invalid_argument);  // instruction before thread
+  EXPECT_THROW(
+      (void)parse_test("name: x\nthread:\n  Read X -> r1\noutcome: r1=zap\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_test(
+          "name: x\nthread:\n  r2 = r1 - r3 + 1\noutcome: r2=1\n"),
+      std::invalid_argument);  // mismatched dependency registers
+}
+
+TEST(Parser, RejectsSemanticViolationsViaValidation) {
+  // Register used before definition.
+  EXPECT_THROW((void)parse_test(R"(
+name: bad
+thread:
+  Read [r1] -> r2
+outcome: r2=0
+)"),
+               std::invalid_argument);
+  // Dynamic (read-defined) address register.
+  EXPECT_THROW((void)parse_test(R"(
+name: bad2
+thread:
+  Read X -> r1
+  Read [r1] -> r2
+outcome: r2=0
+)"),
+               std::invalid_argument);
+}
+
+TEST(Parser, RoundTripsWholeCatalog) {
+  for (const auto& t : full_catalog()) {
+    const std::string text = write_test(t);
+    const auto back = parse_test(text);
+    EXPECT_EQ(back.name(), t.name()) << text;
+    EXPECT_TRUE(back.program() == t.program()) << text;
+    EXPECT_TRUE(back.outcome() == t.outcome()) << text;
+  }
+}
+
+TEST(Parser, CorpusSplitsOnNameLines) {
+  const auto tests = parse_corpus(R"(
+name: first
+thread:
+  Write X <- 1
+outcome:
+
+name: second
+thread:
+  Read X -> r1
+outcome: r1=0
+)");
+  ASSERT_EQ(tests.size(), 2u);
+  EXPECT_EQ(tests[0].name(), "first");
+  EXPECT_EQ(tests[1].name(), "second");
+}
+
+TEST(Parser, CorpusRoundTripsCatalog) {
+  const auto catalog = full_catalog();
+  const auto back = parse_corpus(write_corpus(catalog));
+  ASSERT_EQ(back.size(), catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(back[i].name(), catalog[i].name());
+    EXPECT_TRUE(back[i].program() == catalog[i].program());
+    EXPECT_TRUE(back[i].outcome() == catalog[i].outcome());
+  }
+}
+
+TEST(Parser, EmptyCorpusRejected) {
+  EXPECT_THROW((void)parse_corpus(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_corpus("# only comments\n"),
+               std::invalid_argument);
+}
+
+TEST(Printer, RendersProgramTable) {
+  const std::string s = test_a().to_string();
+  EXPECT_NE(s.find("Write X <- 1"), std::string::npos);
+  EXPECT_NE(s.find("Outcome: r1 = 0; r2 = 2; r3 = 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcmc::litmus

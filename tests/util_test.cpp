@@ -1,0 +1,126 @@
+// Tests for the utility layer: contracts, strings, tables, DOT, RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.h"
+#include "util/dot.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace mcmc::util {
+namespace {
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(MCMC_REQUIRE(1 == 2), std::invalid_argument);
+  EXPECT_NO_THROW(MCMC_REQUIRE(1 == 1));
+  try {
+    MCMC_REQUIRE_MSG(false, "extra context");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("extra context"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckThrowsLogicError) {
+  EXPECT_THROW(MCMC_CHECK(false), std::logic_error);
+  EXPECT_THROW(MCMC_UNREACHABLE("boom"), std::logic_error);
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split_ws("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, JoinTrimPad) {
+  EXPECT_EQ(join({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("abcde", 3), "abcde");
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_THROW((void)parse_int("4x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_int(""), std::invalid_argument);
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("thread:", "thread"));
+  EXPECT_FALSE(starts_with("th", "thread"));
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "bbbb"});
+  t.add_row({"xxxx", "y"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a    | bbbb |"), std::string::npos);
+  EXPECT_NE(s.find("| xxxx | y    |"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Dot, EscapesAndRenders) {
+  DotGraph g("g");
+  g.add_node("n0", "label \"quoted\"");
+  g.add_edge("n0", "n1", "e");
+  const std::string s = g.to_string();
+  EXPECT_NE(s.find("digraph \"g\""), std::string::npos);
+  EXPECT_NE(s.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(s.find("\"n0\" -> \"n1\" [label=\"e\"]"), std::string::npos);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) {
+    const auto v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_EQ(rng.range(5, 5), 5);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.chance(0, 10));
+  EXPECT_TRUE(rng.chance(10, 10));
+}
+
+TEST(Timer, MeasuresForwardTime) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+  t.reset();
+  EXPECT_GE(t.millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace mcmc::util

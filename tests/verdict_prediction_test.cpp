@@ -1,0 +1,118 @@
+// Closed-form verdict predictions.
+//
+// For every catalog test the allowed/forbidden verdict under a choice
+// model M[ww][wr][rw][rr] can be derived by hand from the conflict-cycle
+// structure (which program-order edges exist for which digits, plus the
+// forced coherence / read-from / from-read edges).  This suite pins those
+// derivations against the checker for all 90 models -- about 1400
+// verdicts -- so any regression in the axioms, the formula evaluation, or
+// the engines shows up as a precise digit-level discrepancy.
+//
+// Derivations (see DESIGN.md section 2 for the edge notation):
+//
+//   TestA : forbidden iff wr=4 or (wr=1 and rr=4)
+//   L1    : forbidden iff ww=4
+//   L2    : forbidden iff rr in {1,3,4}
+//   L3    : forbidden iff rr=4
+//   L4    : forbidden iff rr in {2,3,4}
+//   L5    : forbidden iff rw=4
+//   L6    : forbidden iff rw in {3,4}
+//   L7/SB : forbidden iff wr=4
+//   L8    : forbidden iff wr=4 or (wr=1 and rr in {2,3,4})
+//   L9    : forbidden iff rw in {3,4} and (ww=4 or wr in {1,4})
+//   MP    : forbidden iff ww=4 and rr=4
+//   LB    : forbidden iff rw=4
+//   CoRR  : forbidden iff rr in {1,3,4}
+//   2+2W  : forbidden iff ww=4
+//   IRIW  : forbidden always (store atomicity + fences)
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/checker.h"
+#include "explore/space.h"
+#include "litmus/catalog.h"
+
+namespace mcmc {
+namespace {
+
+using explore::ModelChoices;
+
+bool in(int digit, std::initializer_list<int> set) {
+  for (const int d : set) {
+    if (digit == d) return true;
+  }
+  return false;
+}
+
+struct Prediction {
+  litmus::LitmusTest test;
+  bool (*forbidden)(const ModelChoices&);
+};
+
+std::vector<Prediction> predictions() {
+  std::vector<Prediction> out;
+  out.push_back({litmus::test_a(), [](const ModelChoices& m) {
+                   return m.wr == 4 || (m.wr == 1 && m.rr == 4);
+                 }});
+  out.push_back({litmus::l1(),
+                 [](const ModelChoices& m) { return m.ww == 4; }});
+  out.push_back({litmus::l2(), [](const ModelChoices& m) {
+                   return in(m.rr, {1, 3, 4});
+                 }});
+  out.push_back({litmus::l3(),
+                 [](const ModelChoices& m) { return m.rr == 4; }});
+  out.push_back({litmus::l4(), [](const ModelChoices& m) {
+                   return in(m.rr, {2, 3, 4});
+                 }});
+  out.push_back({litmus::l5(),
+                 [](const ModelChoices& m) { return m.rw == 4; }});
+  out.push_back({litmus::l6(), [](const ModelChoices& m) {
+                   return in(m.rw, {3, 4});
+                 }});
+  out.push_back({litmus::l7(),
+                 [](const ModelChoices& m) { return m.wr == 4; }});
+  out.push_back({litmus::l8(), [](const ModelChoices& m) {
+                   return m.wr == 4 || (m.wr == 1 && in(m.rr, {2, 3, 4}));
+                 }});
+  out.push_back({litmus::l9(), [](const ModelChoices& m) {
+                   return in(m.rw, {3, 4}) &&
+                          (m.ww == 4 || in(m.wr, {1, 4}));
+                 }});
+  out.push_back({litmus::message_passing(), [](const ModelChoices& m) {
+                   return m.ww == 4 && m.rr == 4;
+                 }});
+  out.push_back({litmus::load_buffering(),
+                 [](const ModelChoices& m) { return m.rw == 4; }});
+  out.push_back({litmus::corr(), [](const ModelChoices& m) {
+                   return in(m.rr, {1, 3, 4});
+                 }});
+  out.push_back({litmus::two_plus_two_w(),
+                 [](const ModelChoices& m) { return m.ww == 4; }});
+  out.push_back({litmus::iriw(), [](const ModelChoices&) { return true; }});
+  return out;
+}
+
+class AllNinetyModels : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllNinetyModels, CheckerMatchesClosedFormPredictions) {
+  const auto space = explore::model_space(true);
+  const auto& choices = space[static_cast<std::size_t>(GetParam())];
+  const auto model = choices.to_model();
+  for (const auto& p : predictions()) {
+    const core::Analysis an(p.test.program());
+    const bool predicted_forbidden = p.forbidden(choices);
+    const bool allowed = core::is_allowed(an, model, p.test.outcome());
+    EXPECT_EQ(allowed, !predicted_forbidden)
+        << p.test.name() << " under " << choices.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, AllNinetyModels, ::testing::Range(0, 90),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return explore::model_space(true)[static_cast<std::size_t>(info.param)]
+          .name();
+    });
+
+}  // namespace
+}  // namespace mcmc
