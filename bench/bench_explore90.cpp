@@ -3,26 +3,131 @@
 // Regenerates the exploration results: the 90-model space, the eight
 // equivalent model pairs (all differing only in same-address write->read
 // reordering), and summary statistics of the pairwise relations.
+//
+// The full 90-model x Corollary-1-suite sweep routes through the batched
+// engine::VerdictEngine and is checked bit-for-bit against the serial
+// seed path (per-cell core::is_allowed loop) it replaced, reporting the
+// speedup plus the engine's cache / backend statistics.
+//
+// Flags:
+//   --threads N      engine threads (default: hardware concurrency)
+//   --backend B      explicit | sat | adaptive  (default: adaptive)
+//   --no-cache       disable the verdict cache entirely
+//   --no-canonical   keep the cache but use only exact structural keys
+//   --skip-baseline  skip the serial reference sweep (and its check)
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "core/analysis.h"
+#include "core/checker.h"
+#include "engine/verdict_engine.h"
 #include "enumeration/suite.h"
 #include "explore/matrix.h"
 #include "explore/space.h"
 #include "util/table.h"
 #include "util/timer.h"
 
-int main() {
+namespace {
+
+/// The seed's serial evaluation loop, kept verbatim as the reference:
+/// one Analysis per test, then a per-cell core::is_allowed sweep.
+mcmc::engine::BitMatrix serial_seed_sweep(
+    const std::vector<mcmc::core::MemoryModel>& models,
+    const std::vector<mcmc::litmus::LitmusTest>& tests) {
   using namespace mcmc;
+  std::vector<core::Analysis> analyses;
+  analyses.reserve(tests.size());
+  for (const auto& t : tests) analyses.emplace_back(t.program());
+
+  engine::BitMatrix bits(static_cast<int>(models.size()),
+                         static_cast<int>(tests.size()));
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    for (std::size_t t = 0; t < tests.size(); ++t) {
+      if (core::is_allowed(analyses[t], models[m], tests[t].outcome(),
+                           core::Engine::Explicit)) {
+        bits.set(static_cast<int>(m), static_cast<int>(t), true);
+      }
+    }
+  }
+  return bits;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcmc;
+
+  engine::EngineOptions options;
+  bool skip_baseline = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      char* end = nullptr;
+      const long threads = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || threads < 0 || threads > 4096) {
+        std::fprintf(stderr,
+                     "--threads takes an integer in [0, 4096] (0 = hardware)"
+                     ", got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      options.num_threads = static_cast<int>(threads);
+    } else if (arg == "--backend" && i + 1 < argc) {
+      if (!engine::parse_backend(argv[++i], options.backend)) {
+        std::fprintf(stderr, "unknown backend '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--no-cache") {
+      options.cache_enabled = false;
+    } else if (arg == "--no-canonical") {
+      options.canonical_dedup = false;
+    } else if (arg == "--skip-baseline") {
+      skip_baseline = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--backend explicit|sat|adaptive]"
+                   " [--no-cache] [--no-canonical] [--skip-baseline]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
 
   std::printf("== E6 / Section 4.2: the 90-model space ==\n\n");
 
-  util::Timer timer;
   const auto space = explore::model_space(true);
   std::vector<core::MemoryModel> models;
   for (const auto& c : space) models.push_back(c.to_model());
   const auto suite = enumeration::corollary1_suite(true);
-  const explore::AdmissibilityMatrix matrix(models, suite);
+
+  double baseline_time = 0.0;
+  engine::BitMatrix baseline_bits;
+  if (!skip_baseline) {
+    util::Timer baseline_timer;
+    baseline_bits = serial_seed_sweep(models, suite);
+    baseline_time = baseline_timer.seconds();
+  }
+
+  engine::VerdictEngine eng(options);
+  util::Timer timer;
+  const explore::AdmissibilityMatrix matrix(eng, models, suite);
   const double matrix_time = timer.seconds();
+
+  bool bits_match = true;
+  if (!skip_baseline) {
+    bits_match = matrix.bits() == baseline_bits;
+    std::printf("serial seed sweep: %.3fs   engine sweep: %.3fs   "
+                "speedup: %.2fx   verdicts bit-for-bit: %s\n",
+                baseline_time, matrix_time,
+                matrix_time > 0 ? baseline_time / matrix_time : 0.0,
+                bits_match ? "match" : "MISMATCH");
+  } else {
+    std::printf("engine sweep: %.3fs (baseline skipped)\n", matrix_time);
+  }
+  std::printf("engine [backend=%s]: %s\n\n",
+              engine::to_string(options.backend).c_str(),
+              matrix.build_stats().to_string().c_str());
 
   int equivalent = 0;
   int ordered = 0;
@@ -76,5 +181,5 @@ int main() {
               "(matches measured %d: %s)\n",
               predicted, equivalent,
               predicted == equivalent ? "yes" : "NO");
-  return predicted == equivalent ? 0 : 1;
+  return predicted == equivalent && bits_match ? 0 : 1;
 }

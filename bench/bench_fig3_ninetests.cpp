@@ -7,8 +7,7 @@
 // Corollary-1 suite.
 #include <cstdio>
 
-#include "core/analysis.h"
-#include "core/checker.h"
+#include "engine/verdict_engine.h"
 #include "enumeration/suite.h"
 #include "explore/cover.h"
 #include "explore/matrix.h"
@@ -26,16 +25,23 @@ int main() {
   const auto nine = litmus::figure3_tests();
   for (const auto& t : nine) std::printf("%s\n", t.to_string().c_str());
 
-  // (a) named-model verdicts.
+  // One engine for the whole harness: the nine tests are canonical
+  // members of the Corollary-1 suite, so the second matrix is largely
+  // served from the verdict cache.
+  engine::VerdictEngine eng;
+
+  // (a) named-model verdicts, one batched matrix.
   const auto named = models::all_named_models();
   std::vector<std::string> header = {"test"};
   for (const auto& m : named) header.push_back(m.name());
   util::Table verdicts(header);
-  for (const auto& t : nine) {
-    const core::Analysis an(t.program());
-    std::vector<std::string> row = {t.name()};
-    for (const auto& m : named) {
-      row.push_back(core::is_allowed(an, m, t.outcome()) ? "allow" : "forbid");
+  const auto named_bits = eng.run_matrix(named, nine);
+  for (std::size_t t = 0; t < nine.size(); ++t) {
+    std::vector<std::string> row = {nine[t].name()};
+    for (std::size_t m = 0; m < named.size(); ++m) {
+      row.push_back(named_bits.get(static_cast<int>(m), static_cast<int>(t))
+                        ? "allow"
+                        : "forbid");
     }
     verdicts.add_row(row);
   }
@@ -48,8 +54,10 @@ int main() {
   std::vector<core::MemoryModel> space_models;
   for (const auto& c : space) space_models.push_back(c.to_model());
   const auto suite = enumeration::corollary1_suite(true);
-  const explore::AdmissibilityMatrix full(space_models, suite);
-  const explore::AdmissibilityMatrix nine_matrix(space_models, nine);
+  const explore::AdmissibilityMatrix full(eng, space_models, suite);
+  const explore::AdmissibilityMatrix nine_matrix(eng, space_models, nine);
+  std::printf("engine after both matrices: %s\n\n",
+              eng.total_stats().to_string().c_str());
   const auto pairs = explore::distinguishable_pairs(full);
   std::size_t covered = 0;
   for (const auto& [a, b] : pairs) {

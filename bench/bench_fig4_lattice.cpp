@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "engine/verdict_engine.h"
 #include "explore/lattice.h"
 #include "explore/matrix.h"
 #include "explore/space.h"
@@ -33,7 +34,9 @@ int main() {
   std::vector<std::string> test_names;
   for (const auto& t : nine) test_names.push_back(t.name());
 
-  const explore::AdmissibilityMatrix matrix(models, nine);
+  engine::VerdictEngine eng;
+  const explore::AdmissibilityMatrix matrix(eng, models, nine);
+  std::printf("engine: %s\n\n", matrix.build_stats().to_string().c_str());
   const auto lattice = explore::build_lattice(matrix, names, test_names);
 
   // Attach the hardware-model labels of the figure.

@@ -16,6 +16,7 @@
 
 #include "core/analysis.h"
 #include "core/checker.h"
+#include "engine/verdict_engine.h"
 #include "enumeration/suite.h"
 #include "explore/matrix.h"
 #include "explore/space.h"
@@ -59,7 +60,8 @@ int main(int argc, char** argv) {
               b->formula().to_string().c_str());
 
   const auto suite = enumeration::corollary1_suite(true);
-  const explore::AdmissibilityMatrix matrix({*a, *b}, suite);
+  engine::VerdictEngine eng;
+  const explore::AdmissibilityMatrix matrix(eng, {*a, *b}, suite);
   const auto relation = matrix.compare(0, 1);
   switch (relation) {
     case explore::Relation::Equivalent:
@@ -94,5 +96,7 @@ int main(int argc, char** argv) {
   };
   report(0, 1, *a, *b);
   report(1, 0, *b, *a);
+  std::fprintf(stderr, "\n[engine %s]\n",
+               matrix.build_stats().to_string().c_str());
   return 0;
 }

@@ -9,8 +9,7 @@
 // it from its neighbors.
 #include <cstdio>
 
-#include "core/analysis.h"
-#include "core/checker.h"
+#include "engine/verdict_engine.h"
 #include "enumeration/suite.h"
 #include "explore/matrix.h"
 #include "explore/space.h"
@@ -34,7 +33,8 @@ int main() {
   std::vector<MemoryModel> all;
   all.push_back(custom);
   for (const auto& c : space) all.push_back(c.to_model());
-  const explore::AdmissibilityMatrix matrix(all, suite);
+  engine::VerdictEngine eng;
+  const explore::AdmissibilityMatrix matrix(eng, all, suite);
 
   // (a) equivalence class within the space.
   bool placed = false;
@@ -80,16 +80,12 @@ int main() {
   const auto separating = matrix.distinguishing_tests(0, tso_idx + 1);
   if (!separating.empty()) {
     const auto& t = suite[static_cast<std::size_t>(separating[0])];
-    const Analysis an(t.program());
     std::printf("\nexample separating test vs TSO:\n%s",
                 t.to_string().c_str());
     std::printf("  custom: %s, TSO: %s\n",
-                is_allowed(an, custom, t.outcome()) ? "allow" : "forbid",
-                is_allowed(an, space[static_cast<std::size_t>(tso_idx)]
-                                   .to_model(),
-                           t.outcome())
-                    ? "allow"
-                    : "forbid");
+                matrix.allowed(0, separating[0]) ? "allow" : "forbid",
+                matrix.allowed(tso_idx + 1, separating[0]) ? "allow"
+                                                           : "forbid");
   }
   return 0;
 }

@@ -4,12 +4,18 @@
 //   $ ./litmus_runner tests.lit             # run a corpus from a file
 //   $ ./litmus_runner -                     # read tests from stdin
 //   $ ./litmus_runner --explain tests.lit   # also explain forbidden ones
+//   $ ./litmus_runner --stats tests.lit     # engine statistics on stderr
 //
 // Prints the verdict of every named hardware model for each test, plus a
 // witness execution order when the outcome is allowed; with --explain,
 // forbidden verdicts are justified with the forced happens-before cycle.
 // The file format is described in src/litmus/parser.h; a file may contain
 // several tests, each starting at a `name:` line.
+//
+// All verdicts for the whole corpus are evaluated in one batched
+// engine::VerdictEngine run (parallel across cells, symmetric tests
+// deduplicated); witness linearizations are then recovered only for the
+// allowed cells.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -18,6 +24,7 @@
 #include "core/analysis.h"
 #include "core/checker.h"
 #include "core/explain.h"
+#include "engine/verdict_engine.h"
 #include "litmus/catalog.h"
 #include "litmus/parser.h"
 #include "models/zoo.h"
@@ -25,15 +32,21 @@
 
 namespace {
 
-void run_one(const mcmc::litmus::LitmusTest& test, bool explain) {
+void print_one(const mcmc::litmus::LitmusTest& test,
+               const std::vector<mcmc::core::MemoryModel>& models,
+               const mcmc::engine::BitMatrix& verdicts, int test_index,
+               bool explain) {
   using namespace mcmc;
   std::printf("%s\n", test.to_string().c_str());
   const core::Analysis an(test.program());
   util::Table table({"model", "verdict", "witness (first event ... last)"});
-  for (const auto& model : models::all_named_models()) {
-    const auto result = core::check(an, model, test.outcome());
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    const bool allowed = verdicts.get(static_cast<int>(m), test_index);
     std::string witness;
-    if (result.allowed) {
+    if (allowed) {
+      // The engine answered the (cheap, cached) decision question; the
+      // witness linearization is only materialized for allowed cells.
+      const auto result = core::check(an, models[m], test.outcome());
       for (const auto e : result.order) {
         if (!an.is_memory_access(e) && !an.is_fence(e)) continue;
         if (!witness.empty()) witness += "; ";
@@ -41,13 +54,13 @@ void run_one(const mcmc::litmus::LitmusTest& test, bool explain) {
                    core::to_string(*an.event(e).instr);
       }
     }
-    table.add_row({model.name(), result.allowed ? "ALLOWED" : "forbidden",
+    table.add_row({models[m].name(), allowed ? "ALLOWED" : "forbidden",
                    witness});
   }
   std::printf("%s\n", table.to_string().c_str());
 
   if (!explain) return;
-  for (const auto& model : models::all_named_models()) {
+  for (const auto& model : models) {
     const auto explanation =
         core::explain_forbidden(an, model, test.outcome());
     if (explanation.actually_allowed) continue;
@@ -69,37 +82,52 @@ void run_one(const mcmc::litmus::LitmusTest& test, bool explain) {
 int main(int argc, char** argv) {
   using namespace mcmc;
   bool explain = false;
+  bool stats = false;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--stats") {
+      stats = true;
     } else {
       inputs.push_back(arg);
     }
   }
   try {
+    std::vector<litmus::LitmusTest> tests;
     if (inputs.empty()) {
-      for (const auto& t : litmus::full_catalog()) run_one(t, explain);
-      return 0;
-    }
-    for (const auto& input : inputs) {
-      std::string text;
-      if (input == "-") {
-        std::ostringstream buffer;
-        buffer << std::cin.rdbuf();
-        text = buffer.str();
-      } else {
-        std::ifstream in(input);
-        if (!in) {
-          std::fprintf(stderr, "cannot open %s\n", input.c_str());
-          return 2;
+      tests = litmus::full_catalog();
+    } else {
+      for (const auto& input : inputs) {
+        std::string text;
+        if (input == "-") {
+          std::ostringstream buffer;
+          buffer << std::cin.rdbuf();
+          text = buffer.str();
+        } else {
+          std::ifstream in(input);
+          if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", input.c_str());
+            return 2;
+          }
+          std::ostringstream buffer;
+          buffer << in.rdbuf();
+          text = buffer.str();
         }
-        std::ostringstream buffer;
-        buffer << in.rdbuf();
-        text = buffer.str();
+        for (auto& t : litmus::parse_corpus(text)) tests.push_back(std::move(t));
       }
-      for (const auto& t : litmus::parse_corpus(text)) run_one(t, explain);
+    }
+
+    const auto models = models::all_named_models();
+    engine::VerdictEngine eng;
+    const auto verdicts = eng.run_matrix(models, tests);
+    if (stats) {
+      std::fprintf(stderr, "[engine %s]\n",
+                   eng.last_stats().to_string().c_str());
+    }
+    for (std::size_t t = 0; t < tests.size(); ++t) {
+      print_one(tests[t], models, verdicts, static_cast<int>(t), explain);
     }
     return 0;
   } catch (const std::exception& e) {

@@ -118,6 +118,19 @@ bool Formula::is_false() const {
   return node_->kind == Node::Kind::Atom && node_->atom == Atom::False;
 }
 
+bool Formula::has_custom() const {
+  struct Rec {
+    static bool go(const Node& n) {
+      if (n.kind == Node::Kind::Atom) return n.atom == Atom::Custom;
+      for (const auto& c : n.children) {
+        if (go(*c)) return true;
+      }
+      return false;
+    }
+  };
+  return Rec::go(*node_);
+}
+
 namespace {
 
 std::string atom_name(Atom a, const std::string& custom_name) {

@@ -64,6 +64,16 @@ class Formula {
   /// True if this formula is the constant `false`.
   [[nodiscard]] bool is_false() const;
 
+  /// True if any atom is a user-registered custom predicate (whose
+  /// semantics the library cannot inspect).
+  [[nodiscard]] bool has_custom() const;
+
+  /// Stable identity of the underlying immutable tree: copies share it,
+  /// independently built formulas do not.  Caches key formulas with
+  /// custom predicates by identity, since structural equality cannot be
+  /// decided for opaque predicate functions.
+  [[nodiscard]] const void* identity() const { return node_.get(); }
+
  private:
   struct Node;
   explicit Formula(std::shared_ptr<const Node> node) : node_(std::move(node)) {}

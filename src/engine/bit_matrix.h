@@ -1,0 +1,87 @@
+// Packed verdict matrix: rows of 64-bit words, one bit per (row, col)
+// cell.  This is the engine's batch-result representation and the storage
+// behind explore::AdmissibilityMatrix, whose row comparisons become
+// word-wise AND/XOR sweeps instead of per-cell loops.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mcmc::engine {
+
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(int rows, int cols)
+      : rows_(checked_dim(rows)),
+        cols_(checked_dim(cols)),
+        words_per_row_((static_cast<std::size_t>(cols_) + 63) / 64),
+        words_(static_cast<std::size_t>(rows_) * words_per_row_, 0) {}
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] std::size_t words_per_row() const { return words_per_row_; }
+
+  [[nodiscard]] bool get(int r, int c) const {
+    check_cell(r, c);
+    return (row(r)[static_cast<std::size_t>(c) / 64] >>
+            (static_cast<std::size_t>(c) % 64)) &
+           1ULL;
+  }
+
+  void set(int r, int c, bool value) {
+    check_cell(r, c);
+    std::uint64_t& word =
+        words_[static_cast<std::size_t>(r) * words_per_row_ +
+               static_cast<std::size_t>(c) / 64];
+    const std::uint64_t mask = 1ULL << (static_cast<std::size_t>(c) % 64);
+    if (value) {
+      word |= mask;
+    } else {
+      word &= ~mask;
+    }
+  }
+
+  /// Word pointer for row `r`; bits beyond `cols()` are zero.
+  [[nodiscard]] const std::uint64_t* row(int r) const {
+    MCMC_REQUIRE(r >= 0 && r < rows_);
+    return words_.data() + static_cast<std::size_t>(r) * words_per_row_;
+  }
+
+  /// True iff rows `a` and `b` hold identical bits.
+  [[nodiscard]] bool rows_equal(int a, int b) const {
+    const std::uint64_t* ra = row(a);
+    const std::uint64_t* rb = row(b);
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      if (ra[w] != rb[w]) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const BitMatrix& a, const BitMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.words_ == b.words_;
+  }
+  friend bool operator!=(const BitMatrix& a, const BitMatrix& b) {
+    return !(a == b);
+  }
+
+ private:
+  static int checked_dim(int dim) {
+    MCMC_REQUIRE(dim >= 0);
+    return dim;
+  }
+
+  void check_cell(int r, int c) const {
+    MCMC_REQUIRE(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mcmc::engine

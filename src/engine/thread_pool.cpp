@@ -1,0 +1,121 @@
+#include "engine/thread_pool.h"
+
+namespace mcmc::engine {
+
+WorkStealingPool::WorkStealingPool(int total_threads)
+    : total_threads_(total_threads < 1 ? 1 : total_threads) {
+  workers_.reserve(static_cast<std::size_t>(total_threads_ - 1));
+  for (int i = 1; i < total_threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool WorkStealingPool::Job::try_pop(std::size_t slot, std::size_t& out) {
+  std::lock_guard<std::mutex> lock(queue_mu[slot]);
+  auto& q = queues[slot];
+  if (q.empty()) return false;
+  out = q.back();
+  q.pop_back();
+  return true;
+}
+
+bool WorkStealingPool::Job::try_steal(std::size_t slot, std::size_t& out) {
+  const std::size_t n = queues.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    const std::size_t victim = (slot + k) % n;
+    std::lock_guard<std::mutex> lock(queue_mu[victim]);
+    auto& q = queues[victim];
+    if (q.empty()) continue;
+    out = q.front();
+    q.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingPool::Job::run_one(std::size_t index) {
+  try {
+    (*fn)(index);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!err) err = std::current_exception();
+  }
+  remaining.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void WorkStealingPool::Job::work(std::size_t slot) {
+  std::size_t index = 0;
+  while (try_pop(slot, index) || try_steal(slot, index)) run_one(index);
+}
+
+void WorkStealingPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    std::size_t slot = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // job_ may already be null again if the batch drained before this
+      // worker woke; in that case keep waiting for the next epoch.
+      work_cv_.wait(lock,
+                    [&] { return stop_ || (job_ && epoch_ != seen_epoch); });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+      // Spawned workers occupy slots 1..N-1; the submitting thread is 0.
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        if (workers_[i].get_id() == std::this_thread::get_id()) slot = i + 1;
+      }
+    }
+    job->work(slot);
+    // Taking mu_ before notifying orders this worker's final
+    // remaining-decrement after any waiter's predicate check, so the
+    // wakeup cannot be lost.
+    { std::lock_guard<std::mutex> lock(mu_); }
+    done_cv_.notify_all();
+  }
+}
+
+void WorkStealingPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  const auto slots = static_cast<std::size_t>(total_threads_);
+  job->queues.resize(slots);
+  job->queue_mu = std::make_unique<std::mutex[]>(slots);
+  for (std::size_t i = 0; i < n; ++i) job->queues[i % slots].push_back(i);
+  job->remaining.store(n, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  job->work(0);  // the submitting thread participates as slot 0
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+    job_ = nullptr;
+  }
+
+  if (job->err) std::rethrow_exception(job->err);
+}
+
+}  // namespace mcmc::engine

@@ -1,0 +1,79 @@
+// Work-stealing thread pool for batch verdict evaluation.
+//
+// The pool owns `total_threads - 1` worker threads; the thread calling
+// `parallel_for` participates as the remaining worker, so a pool built
+// with one thread runs everything inline (no spawned threads, fully
+// deterministic scheduling).  Each `parallel_for` distributes the index
+// range round-robin across per-worker deques; a worker pops from the
+// back of its own deque and steals from the front of a victim's when it
+// runs dry.  Individual tasks are admissibility checks (microseconds to
+// milliseconds), so stealing one index at a time is plenty.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcmc::engine {
+
+class WorkStealingPool {
+ public:
+  /// `total_threads` counts the caller of `parallel_for`; values below 1
+  /// are clamped to 1 (inline execution, no worker threads).
+  explicit WorkStealingPool(int total_threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Total worker count, including the calling thread.
+  [[nodiscard]] int num_threads() const { return total_threads_; }
+
+  /// Runs `fn(i)` once for every `i` in `[0, n)` and blocks until all
+  /// complete.  Tasks must be independent; the assignment of indices to
+  /// threads is unspecified.  The first exception thrown by any task is
+  /// rethrown here after the batch drains.  Not reentrant: one
+  /// `parallel_for` at a time per pool.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  /// One batch of work shared between the participating threads.
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::vector<std::deque<std::size_t>> queues;  // one per worker slot
+    std::unique_ptr<std::mutex[]> queue_mu;
+    std::atomic<std::size_t> remaining{0};
+    std::mutex err_mu;
+    std::exception_ptr err;
+
+    /// Runs tasks as worker `slot` until no queued work remains anywhere.
+    void work(std::size_t slot);
+
+   private:
+    bool try_pop(std::size_t slot, std::size_t& out);
+    bool try_steal(std::size_t slot, std::size_t& out);
+    void run_one(std::size_t index);
+  };
+
+  void worker_loop();
+
+  int total_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for a new job
+  std::condition_variable done_cv_;   // parallel_for waits here for drain
+  std::shared_ptr<Job> job_;          // current job, null when idle
+  std::uint64_t epoch_ = 0;           // bumped per job so workers re-wake
+  bool stop_ = false;
+  std::mutex submit_mu_;              // serializes parallel_for callers
+};
+
+}  // namespace mcmc::engine

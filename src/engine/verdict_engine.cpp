@@ -1,0 +1,417 @@
+#include "engine/verdict_engine.h"
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "core/analysis.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mcmc::engine {
+
+std::string to_string(Backend backend) {
+  switch (backend) {
+    case Backend::Explicit:
+      return "explicit";
+    case Backend::Sat:
+      return "sat";
+    case Backend::Adaptive:
+      return "adaptive";
+  }
+  MCMC_UNREACHABLE("bad backend");
+}
+
+bool parse_backend(const std::string& text, Backend& out) {
+  if (text == "explicit") {
+    out = Backend::Explicit;
+  } else if (text == "sat") {
+    out = Backend::Sat;
+  } else if (text == "adaptive") {
+    out = Backend::Adaptive;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+EngineStats& EngineStats::operator+=(const EngineStats& other) {
+  cells += other.cells;
+  checks_run += other.checks_run;
+  cache_hits += other.cache_hits;
+  dedup_hits += other.dedup_hits;
+  explicit_checks += other.explicit_checks;
+  sat_checks += other.sat_checks;
+  unique_analyses += other.unique_analyses;
+  if (other.threads_used > threads_used) threads_used = other.threads_used;
+  wall_seconds += other.wall_seconds;
+  return *this;
+}
+
+std::string EngineStats::to_string() const {
+  std::ostringstream os;
+  os << "cells=" << cells << " checks=" << checks_run
+     << " cache_hits=" << cache_hits << " dedup_hits=" << dedup_hits
+     << " backends=explicit:" << explicit_checks << "/sat:" << sat_checks
+     << " analyses=" << unique_analyses << " threads=" << threads_used
+     << " wall=" << wall_seconds << "s";
+  return os.str();
+}
+
+VerdictEngine::VerdictEngine(EngineOptions options) : options_(options) {
+  MCMC_REQUIRE(options_.num_threads >= 0);
+  MCMC_REQUIRE(options_.sat_event_threshold >= 0);
+}
+
+VerdictEngine::~VerdictEngine() = default;
+
+int VerdictEngine::effective_threads() const {
+  if (options_.num_threads > 0) return options_.num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+core::Engine VerdictEngine::resolve_backend(int num_events) const {
+  switch (options_.backend) {
+    case Backend::Explicit:
+      return core::Engine::Explicit;
+    case Backend::Sat:
+      return core::Engine::Sat;
+    case Backend::Adaptive: {
+      // The explicit engine's transitive-closure bitmasks hold 64 events.
+      const int limit =
+          options_.sat_event_threshold < 64 ? options_.sat_event_threshold : 64;
+      return num_events <= limit ? core::Engine::Explicit : core::Engine::Sat;
+    }
+  }
+  MCMC_UNREACHABLE("bad backend");
+}
+
+WorkStealingPool& VerdictEngine::pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<WorkStealingPool>(effective_threads());
+  }
+  return *pool_;
+}
+
+std::size_t VerdictEngine::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  std::size_t total = 0;
+  for (const auto& [key, bucket] : cache_) total += bucket.size();
+  return total;
+}
+
+void VerdictEngine::clear_cache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_.clear();
+  pinned_custom_formulas_.clear();
+  pinned_ids_.clear();
+}
+
+std::vector<char> VerdictEngine::run_batch(
+    const std::vector<core::MemoryModel>& models,
+    const std::vector<litmus::LitmusTest>& tests,
+    const std::vector<VerdictRequest>& requests) {
+  util::Timer timer;
+  EngineStats stats;
+  stats.cells = requests.size();
+  std::vector<char> results(requests.size(), 0);
+
+  const int num_models = static_cast<int>(models.size());
+  const int num_tests = static_cast<int>(tests.size());
+  for (const auto& r : requests) {
+    MCMC_REQUIRE_MSG(r.model >= 0 && r.model < num_models,
+                     "request model index out of range");
+    MCMC_REQUIRE_MSG(r.test >= 0 && r.test < num_tests,
+                     "request test index out of range");
+  }
+  if (requests.empty()) {
+    last_stats_ = stats;
+    total_stats_ += stats;
+    return results;
+  }
+
+  // ---- Which tests and models this batch touches. ----
+  std::vector<char> test_used(tests.size(), 0);
+  std::vector<char> model_used(models.size(), 0);
+  for (const auto& r : requests) {
+    test_used[static_cast<std::size_t>(r.test)] = 1;
+    model_used[static_cast<std::size_t>(r.model)] = 1;
+  }
+  std::vector<int> used_tests;
+  for (int t = 0; t < num_tests; ++t) {
+    if (test_used[static_cast<std::size_t>(t)]) used_tests.push_back(t);
+  }
+
+  // ---- Model cache keys.  Structurally identical custom-free formulas
+  // share; formulas with custom predicates are keyed by tree identity. ----
+  struct ModelKey {
+    std::string key;
+    bool custom = false;
+  };
+  std::vector<ModelKey> model_keys(models.size());
+  bool any_canonical = false;
+  bool any_structural = false;
+  for (int m = 0; m < num_models; ++m) {
+    if (!model_used[static_cast<std::size_t>(m)]) continue;
+    auto& mk = model_keys[static_cast<std::size_t>(m)];
+    const auto& formula = models[static_cast<std::size_t>(m)].formula();
+    mk.custom = formula.has_custom();
+    if (mk.custom) {
+      std::ostringstream os;
+      os << "P:" << formula.identity();
+      mk.key = os.str();
+      if (options_.cache_enabled) {
+        // Pin the node so its address (= the cache key) cannot be
+        // recycled by a different custom formula while this engine's
+        // cached verdicts reference it.
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        if (pinned_ids_.insert(formula.identity()).second) {
+          pinned_custom_formulas_.push_back(formula);
+        }
+      }
+    } else {
+      mk.key = "F:" + formula.to_string();
+    }
+    if (mk.custom || !options_.canonical_dedup) {
+      any_structural = true;
+    } else {
+      any_canonical = true;
+    }
+  }
+
+  const bool need_canonical = options_.cache_enabled && any_canonical;
+  const bool need_structural = options_.cache_enabled && any_structural;
+
+  // ---- Analyses (once per test, shared across models) and test keys. ----
+  std::vector<std::unique_ptr<core::Analysis>> analyses(tests.size());
+  std::vector<std::string> canonical_keys(tests.size());
+  std::vector<std::string> structural_keys(tests.size());
+  const auto build_one = [&](std::size_t k) {
+    const int t = used_tests[k];
+    const auto& test = tests[static_cast<std::size_t>(t)];
+    auto an = std::make_unique<core::Analysis>(test.program());
+    if (need_canonical) {
+      canonical_keys[static_cast<std::size_t>(t)] =
+          litmus::canonical_key(*an, test.outcome());
+    }
+    if (need_structural) {
+      structural_keys[static_cast<std::size_t>(t)] = litmus::structural_key(test);
+    }
+    analyses[static_cast<std::size_t>(t)] = std::move(an);
+  };
+  stats.unique_analyses = used_tests.size();
+  const int threads = effective_threads();
+  if (threads > 1 && used_tests.size() > 1) {
+    pool().parallel_for(used_tests.size(), build_one);
+  } else {
+    for (std::size_t k = 0; k < used_tests.size(); ++k) build_one(k);
+  }
+
+  // ---- Intern keys into dense class ids so the per-cell grouping cost
+  // is two array reads and one integer hash, never a string. ----
+  //
+  // test_class[t]: class id of test t under each key flavor; tests whose
+  // keys collide share a class.  model_class[m]: ditto for model keys.
+  std::vector<int> model_class(models.size(), -1);
+  std::vector<int> canonical_class(tests.size(), -1);
+  std::vector<int> structural_class(tests.size(), -1);
+  std::vector<const std::string*> model_class_key;
+  std::vector<const std::string*> test_class_key;
+  if (options_.cache_enabled) {
+    std::unordered_map<std::string, int> model_interner;
+    std::unordered_map<std::string, int> test_interner;
+    const auto intern_test = [&](const std::string& key) {
+      const auto [it, inserted] =
+          test_interner.emplace(key, static_cast<int>(test_class_key.size()));
+      if (inserted) test_class_key.push_back(&key);
+      return it->second;
+    };
+    for (const int t : used_tests) {
+      if (need_canonical) {
+        canonical_class[static_cast<std::size_t>(t)] =
+            intern_test(canonical_keys[static_cast<std::size_t>(t)]);
+      }
+      if (need_structural) {
+        structural_class[static_cast<std::size_t>(t)] =
+            intern_test(structural_keys[static_cast<std::size_t>(t)]);
+      }
+    }
+    for (int m = 0; m < num_models; ++m) {
+      if (!model_used[static_cast<std::size_t>(m)]) continue;
+      const auto& mk = model_keys[static_cast<std::size_t>(m)];
+      const auto [it, inserted] = model_interner.emplace(
+          mk.key, static_cast<int>(model_class_key.size()));
+      if (inserted) model_class_key.push_back(&mk.key);
+      model_class[static_cast<std::size_t>(m)] = it->second;
+    }
+  }
+
+  // ---- Group cells into jobs: one evaluation per distinct
+  // (model class, test class) pair, with persistent-cache hits resolved
+  // immediately. ----
+  struct Job {
+    int model = 0;
+    int test = 0;
+    int model_cls = -1;
+    int test_cls = -1;
+    bool from_cache = false;
+    bool result = false;
+    std::vector<std::size_t> slots;
+  };
+  std::vector<Job> jobs;       // from_cache groups stay here too
+  std::size_t live_jobs = 0;   // groups that actually need evaluation
+  if (options_.cache_enabled) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    // Per model class, its persistent-cache bucket (looked up once).
+    std::vector<const std::unordered_map<std::string, bool>*> buckets(
+        model_class_key.size(), nullptr);
+    std::vector<char> bucket_ready(model_class_key.size(), 0);
+    std::unordered_map<std::uint64_t, std::size_t> group_of;
+    group_of.reserve(requests.size());
+    const auto num_test_classes =
+        static_cast<std::uint64_t>(test_class_key.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const auto& r = requests[i];
+      const auto& mk = model_keys[static_cast<std::size_t>(r.model)];
+      const int test_cls =
+          (mk.custom || !options_.canonical_dedup)
+              ? structural_class[static_cast<std::size_t>(r.test)]
+              : canonical_class[static_cast<std::size_t>(r.test)];
+      const int model_cls = model_class[static_cast<std::size_t>(r.model)];
+      const std::uint64_t pair_id =
+          static_cast<std::uint64_t>(model_cls) * num_test_classes +
+          static_cast<std::uint64_t>(test_cls);
+      const auto [it, inserted] = group_of.emplace(pair_id, jobs.size());
+      if (!inserted) {
+        Job& job = jobs[it->second];
+        job.slots.push_back(i);
+        if (job.from_cache) {
+          ++stats.cache_hits;
+        } else {
+          ++stats.dedup_hits;
+        }
+        continue;
+      }
+      Job job;
+      job.model = r.model;
+      job.test = r.test;
+      job.model_cls = model_cls;
+      job.test_cls = test_cls;
+      job.slots.push_back(i);
+      // One persistent-cache probe per new group.
+      if (!bucket_ready[static_cast<std::size_t>(model_cls)]) {
+        const auto bucket =
+            cache_.find(*model_class_key[static_cast<std::size_t>(model_cls)]);
+        buckets[static_cast<std::size_t>(model_cls)] =
+            bucket == cache_.end() ? nullptr : &bucket->second;
+        bucket_ready[static_cast<std::size_t>(model_cls)] = 1;
+      }
+      const auto* bucket = buckets[static_cast<std::size_t>(model_cls)];
+      if (bucket != nullptr) {
+        const auto hit =
+            bucket->find(*test_class_key[static_cast<std::size_t>(test_cls)]);
+        if (hit != bucket->end()) {
+          job.from_cache = true;
+          job.result = hit->second;
+          ++stats.cache_hits;
+        }
+      }
+      if (!job.from_cache) ++live_jobs;
+      jobs.push_back(std::move(job));
+    }
+  } else {
+    jobs.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      Job job;
+      job.model = requests[i].model;
+      job.test = requests[i].test;
+      job.slots.push_back(i);
+      jobs.push_back(std::move(job));
+    }
+    live_jobs = jobs.size();
+  }
+
+  // Compact the evaluation list: indices of jobs needing a real check.
+  std::vector<std::size_t> pending;
+  pending.reserve(live_jobs);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (!jobs[j].from_cache) pending.push_back(j);
+  }
+
+  // ---- Evaluate the deduplicated jobs across the pool. ----
+  std::atomic<std::size_t> explicit_count{0};
+  std::atomic<std::size_t> sat_count{0};
+  const auto evaluate = [&](std::size_t k) {
+    Job& job = jobs[pending[k]];
+    const auto& analysis = *analyses[static_cast<std::size_t>(job.test)];
+    const core::Engine backend = resolve_backend(analysis.num_events());
+    if (backend == core::Engine::Explicit) {
+      explicit_count.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      sat_count.fetch_add(1, std::memory_order_relaxed);
+    }
+    job.result = core::is_allowed(
+        analysis, models[static_cast<std::size_t>(job.model)],
+        tests[static_cast<std::size_t>(job.test)].outcome(), backend);
+  };
+  if (threads > 1 && pending.size() > 1) {
+    pool().parallel_for(pending.size(), evaluate);
+    stats.threads_used = threads;
+  } else {
+    for (std::size_t k = 0; k < pending.size(); ++k) evaluate(k);
+    stats.threads_used = 1;
+  }
+  stats.checks_run = pending.size();
+  stats.explicit_checks = explicit_count.load();
+  stats.sat_checks = sat_count.load();
+
+  // ---- Publish results and feed the persistent cache. ----
+  if (options_.cache_enabled) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    for (const auto j : pending) {
+      const auto& job = jobs[j];
+      cache_[*model_class_key[static_cast<std::size_t>(job.model_cls)]]
+          .emplace(*test_class_key[static_cast<std::size_t>(job.test_cls)],
+                   job.result);
+    }
+  }
+  for (const auto& job : jobs) {
+    for (const auto slot : job.slots) results[slot] = job.result ? 1 : 0;
+  }
+
+  stats.wall_seconds = timer.seconds();
+  last_stats_ = stats;
+  total_stats_ += stats;
+  return results;
+}
+
+BitMatrix VerdictEngine::run_matrix(
+    const std::vector<core::MemoryModel>& models,
+    const std::vector<litmus::LitmusTest>& tests) {
+  const int num_models = static_cast<int>(models.size());
+  const int num_tests = static_cast<int>(tests.size());
+  std::vector<VerdictRequest> requests;
+  requests.reserve(static_cast<std::size_t>(num_models) *
+                   static_cast<std::size_t>(num_tests));
+  for (int m = 0; m < num_models; ++m) {
+    for (int t = 0; t < num_tests; ++t) requests.push_back({m, t});
+  }
+  const auto verdicts = run_batch(models, tests, requests);
+
+  BitMatrix matrix(num_models, num_tests);
+  std::size_t i = 0;
+  for (int m = 0; m < num_models; ++m) {
+    for (int t = 0; t < num_tests; ++t, ++i) {
+      if (verdicts[i]) matrix.set(m, t, true);
+    }
+  }
+  return matrix;
+}
+
+bool VerdictEngine::allowed(const core::MemoryModel& model,
+                            const litmus::LitmusTest& test) {
+  return run_batch({model}, {test}, {VerdictRequest{0, 0}})[0] != 0;
+}
+
+}  // namespace mcmc::engine

@@ -1,0 +1,154 @@
+// The unified batched verdict pipeline.
+//
+// Every result in the paper reduces to "is this outcome allowed under
+// this model?" asked thousands of times.  VerdictEngine owns that loop
+// for the whole repository: callers hand it a batch of (model, test)
+// cells and get back a packed verdict matrix, with the engine handling
+//
+//   * per-test Analysis construction, done once and shared across models,
+//   * canonical-test deduplication: symmetric tests (thread-permuted,
+//     location-renamed) share verdicts through a persistent cache keyed
+//     by litmus::canonical_key — falling back to structural keys for
+//     models with custom predicates, whose semantics may observe raw
+//     thread/location identity,
+//   * backend selection per cell: the explicit-closure engine, the SAT
+//     engine, or adaptive (explicit for small instances, SAT beyond the
+//     explicit engine's 64-event bitmask limit),
+//   * a work-stealing std::thread pool parallelizing across cells, and
+//   * per-batch statistics (checks run, cache hits, backend split, wall
+//     time).
+//
+// explore::AdmissibilityMatrix, model fingerprinting, the examples, and
+// the bench sweeps all route through this engine.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/checker.h"
+#include "core/model.h"
+#include "engine/bit_matrix.h"
+#include "engine/thread_pool.h"
+#include "litmus/test.h"
+
+namespace mcmc::engine {
+
+/// Which admissibility decision procedure evaluates a cell.
+enum class Backend {
+  Explicit,  ///< core::Engine::Explicit for every cell (<= 64 events)
+  Sat,       ///< core::Engine::Sat for every cell
+  Adaptive,  ///< Explicit below `sat_event_threshold` events, Sat above
+};
+
+[[nodiscard]] std::string to_string(Backend backend);
+
+/// Parses "explicit" / "sat" / "adaptive" (as used by the bench flags).
+[[nodiscard]] bool parse_backend(const std::string& text, Backend& out);
+
+struct EngineOptions {
+  Backend backend = Backend::Adaptive;
+  /// Total evaluation threads, including the caller; 0 means
+  /// std::thread::hardware_concurrency().
+  int num_threads = 0;
+  /// Master switch for the verdict cache (both within-batch dedup and
+  /// the persistent cross-batch map).
+  bool cache_enabled = true;
+  /// Use canonical keys (thread-permutation / location-renaming
+  /// invariant) where sound; structural keys otherwise.  Disabling
+  /// keeps only exact structural dedup.
+  bool canonical_dedup = true;
+  /// Adaptive backend: instances with more events than this go to SAT.
+  /// The explicit engine's transitive-closure bitmasks cap it at 64.
+  int sat_event_threshold = 64;
+};
+
+/// One cell of a batch: indices into the caller's model and test vectors.
+struct VerdictRequest {
+  int model = 0;
+  int test = 0;
+};
+
+/// Per-batch accounting (also accumulated across an engine's lifetime).
+struct EngineStats {
+  std::size_t cells = 0;           ///< verdicts requested
+  std::size_t checks_run = 0;      ///< core::is_allowed invocations
+  std::size_t cache_hits = 0;      ///< served by the persistent cache
+  std::size_t dedup_hits = 0;      ///< shared within the batch via keys
+  std::size_t explicit_checks = 0; ///< checks decided by the explicit engine
+  std::size_t sat_checks = 0;      ///< checks decided by the SAT engine
+  std::size_t unique_analyses = 0; ///< Analysis constructions this batch
+  int threads_used = 1;
+  double wall_seconds = 0.0;
+
+  EngineStats& operator+=(const EngineStats& other);
+  /// One-line rendering for the bench harnesses.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Batched, parallel, cached (model, test) verdict evaluation.
+class VerdictEngine {
+ public:
+  explicit VerdictEngine(EngineOptions options = {});
+  ~VerdictEngine();
+
+  VerdictEngine(const VerdictEngine&) = delete;
+  VerdictEngine& operator=(const VerdictEngine&) = delete;
+
+  /// Evaluates the full `models` x `tests` cross product; bit (m, t) of
+  /// the result is the verdict of model `m` on test `t`.
+  [[nodiscard]] BitMatrix run_matrix(
+      const std::vector<core::MemoryModel>& models,
+      const std::vector<litmus::LitmusTest>& tests);
+
+  /// Evaluates an arbitrary batch of cells; `result[i]` is the verdict
+  /// for `requests[i]`.  Request indices must lie within the vectors.
+  [[nodiscard]] std::vector<char> run_batch(
+      const std::vector<core::MemoryModel>& models,
+      const std::vector<litmus::LitmusTest>& tests,
+      const std::vector<VerdictRequest>& requests);
+
+  /// Single-cell convenience; still goes through the cache.
+  [[nodiscard]] bool allowed(const core::MemoryModel& model,
+                             const litmus::LitmusTest& test);
+
+  /// Stats of the most recent batch.
+  [[nodiscard]] const EngineStats& last_stats() const { return last_stats_; }
+  /// Stats accumulated over the engine's lifetime.
+  [[nodiscard]] const EngineStats& total_stats() const { return total_stats_; }
+
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t cache_size() const;
+  void clear_cache();
+
+  /// Threads a batch will actually use (resolves the 0 = hardware
+  /// default).
+  [[nodiscard]] int effective_threads() const;
+
+ private:
+  [[nodiscard]] core::Engine resolve_backend(int num_events) const;
+  WorkStealingPool& pool();
+
+  EngineOptions options_;
+  std::unique_ptr<WorkStealingPool> pool_;  // created on first parallel batch
+
+  mutable std::mutex cache_mu_;
+  /// model key -> (test key -> verdict).  Two-level so a batch touches
+  /// each key string once (per class), not once per cell.
+  std::unordered_map<std::string, std::unordered_map<std::string, bool>>
+      cache_;
+  /// Custom-predicate formulas are cache-keyed by their node address;
+  /// retaining a copy pins the node so the address cannot be recycled
+  /// by a different formula while its verdicts are cached.
+  std::vector<core::Formula> pinned_custom_formulas_;
+  std::unordered_set<const void*> pinned_ids_;
+
+  EngineStats last_stats_;
+  EngineStats total_stats_;
+};
+
+}  // namespace mcmc::engine

@@ -2,9 +2,8 @@
 
 #include <utility>
 
-#include "core/analysis.h"
-#include "core/checker.h"
 #include "core/model.h"
+#include "engine/verdict_engine.h"
 #include "enumeration/segment.h"
 #include "enumeration/templates.h"
 
@@ -59,27 +58,43 @@ std::vector<std::pair<Case, litmus::LitmusTest>> generate_all(bool with_deps) {
 /// class (F = false) is unreachable in every model (strengthening F only
 /// removes behaviors), so it can never contrast two models: drop it.
 /// This prunes degenerate same-address instantiations whose observer
-/// reads force a coherence cycle outright.
-bool useful(const litmus::LitmusTest& t) {
-  const core::MemoryModel weakest("weakest", core::f_false());
-  const core::Analysis an(t.program());
-  return core::is_allowed(an, weakest, t.outcome());
+/// reads force a coherence cycle outright.  All candidates are checked
+/// in one batched engine run (one weakest-model row).
+std::vector<char> useful_flags(
+    const std::vector<std::pair<Case, litmus::LitmusTest>>& all) {
+  const std::vector<core::MemoryModel> weakest = {
+      core::MemoryModel("weakest", core::f_false())};
+  std::vector<litmus::LitmusTest> tests;
+  tests.reserve(all.size());
+  for (const auto& [c, t] : all) tests.push_back(t);
+  std::vector<engine::VerdictRequest> requests;
+  requests.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    requests.push_back({0, static_cast<int>(i)});
+  }
+  engine::VerdictEngine eng;
+  return eng.run_batch(weakest, tests, requests);
 }
 
 }  // namespace
 
 std::vector<litmus::LitmusTest> corollary1_suite(bool with_deps) {
+  auto all = generate_all(with_deps);
+  const auto useful = useful_flags(all);
   std::vector<litmus::LitmusTest> out;
-  for (auto& [c, t] : generate_all(with_deps)) {
-    if (useful(t)) out.push_back(std::move(t));
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (useful[i]) out.push_back(std::move(all[i].second));
   }
   return out;
 }
 
 SuiteBreakdown suite_breakdown(bool with_deps) {
   SuiteBreakdown b;
-  for (const auto& [c, t] : generate_all(with_deps)) {
-    if (!useful(t)) continue;
+  const auto all = generate_all(with_deps);
+  const auto useful = useful_flags(all);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (!useful[i]) continue;
+    const Case c = all[i].first;
     switch (c) {
       case Case::C1:
         ++b.case1;

@@ -59,17 +59,25 @@ class PairSet {
   std::vector<std::uint64_t> words_;
 };
 
-/// Coverage bitset of each test over `pairs`.
+/// Coverage bitset of each test over `pairs`, read word-wise off the
+/// matrix's packed verdict rows (a test covers a pair iff its bit is set
+/// in the XOR of the pair's rows).
 std::vector<PairSet> coverage_sets(
     const AdmissibilityMatrix& matrix,
     const std::vector<std::pair<int, int>>& pairs) {
   std::vector<PairSet> cov(static_cast<std::size_t>(matrix.num_tests()),
                            PairSet(pairs.size()));
+  const auto& bits = matrix.bits();
   for (std::size_t p = 0; p < pairs.size(); ++p) {
     const auto [a, b] = pairs[p];
-    for (int t = 0; t < matrix.num_tests(); ++t) {
-      if (matrix.allowed(a, t) != matrix.allowed(b, t)) {
-        cov[static_cast<std::size_t>(t)].set(p);
+    const std::uint64_t* ra = bits.row(a);
+    const std::uint64_t* rb = bits.row(b);
+    for (std::size_t w = 0; w < bits.words_per_row(); ++w) {
+      std::uint64_t diff = ra[w] ^ rb[w];
+      while (diff != 0) {
+        const auto t = w * 64 + static_cast<std::size_t>(__builtin_ctzll(diff));
+        cov[t].set(p);
+        diff &= diff - 1;
       }
     }
   }

@@ -1,32 +1,33 @@
 #include "explore/fingerprint.h"
 
-#include "core/analysis.h"
-#include "core/checker.h"
+#include "engine/verdict_engine.h"
 #include "enumeration/suite.h"
 #include "litmus/catalog.h"
 
 namespace mcmc::explore {
 
-namespace {
-
-bool allowed(const core::MemoryModel& model, const litmus::LitmusTest& test) {
-  const core::Analysis an(test.program());
-  return core::is_allowed(an, model, test.outcome());
-}
-
-}  // namespace
-
 Fingerprint fingerprint_model(const core::MemoryModel& model) {
   Fingerprint result;
+  engine::VerdictEngine eng;
+
+  // All nine probes in one batch: the later digit derivations branch on
+  // earlier verdicts, but every branch only ever consults L1..L9, so
+  // evaluating the full row up front keeps the pipeline batched (and the
+  // canonical cache collapses probes that alias under symmetry).
+  const auto probes = litmus::figure3_tests();
+  const auto verdicts = eng.run_matrix({model}, probes);
+  const auto allowed = [&](int probe_index) {
+    return verdicts.get(0, probe_index - 1);  // probes are L1..L9 in order
+  };
 
   // Digit derivations (see verdict_prediction_test.cpp for the closed
   // forms these invert).
-  const int ww = allowed(model, litmus::l1()) ? 1 : 4;
+  const int ww = allowed(1) ? 1 : 4;
 
   int rr = 0;
-  const bool l3_forbidden = !allowed(model, litmus::l3());
-  const bool l4_forbidden = !allowed(model, litmus::l4());
-  const bool l2_forbidden = !allowed(model, litmus::l2());
+  const bool l3_forbidden = !allowed(3);
+  const bool l4_forbidden = !allowed(4);
+  const bool l2_forbidden = !allowed(2);
   if (l3_forbidden) {
     rr = 4;
   } else if (l4_forbidden) {
@@ -36,24 +37,24 @@ Fingerprint fingerprint_model(const core::MemoryModel& model) {
   }
 
   int rw = 1;
-  if (!allowed(model, litmus::l5())) {
+  if (!allowed(5)) {
     rw = 4;
-  } else if (!allowed(model, litmus::l6())) {
+  } else if (!allowed(6)) {
     rw = 3;
   }
 
   // Write-read: L7 separates 4 from {0,1}; L8/L9 separate 0 from 1 where
   // a detection route exists.
   std::vector<int> wr_candidates;
-  if (!allowed(model, litmus::l7())) {
+  if (!allowed(7)) {
     wr_candidates.push_back(4);
   } else {
     const bool l8_route = rr >= 2;
     const bool l9_route = ww == 1 && rw >= 3;
     if (l8_route) {
-      wr_candidates.push_back(allowed(model, litmus::l8()) ? 0 : 1);
+      wr_candidates.push_back(allowed(8) ? 0 : 1);
     } else if (l9_route) {
-      wr_candidates.push_back(allowed(model, litmus::l9()) ? 0 : 1);
+      wr_candidates.push_back(allowed(9) ? 0 : 1);
     } else {
       wr_candidates.push_back(0);
       wr_candidates.push_back(1);
@@ -64,20 +65,22 @@ Fingerprint fingerprint_model(const core::MemoryModel& model) {
     result.candidates.push_back(ModelChoices{ww, wr, rw, rr});
   }
 
-  // Verify each candidate against the full suite.
+  // Verify the candidates against the full suite: one batched matrix
+  // over {model, candidate models} x suite, then word-wise row equality.
   result.verified = !result.candidates.empty();
-  const auto suite = enumeration::corollary1_suite(true);
-  for (const auto& candidate : result.candidates) {
-    const auto candidate_model = candidate.to_model();
-    for (const auto& t : suite) {
-      const core::Analysis an(t.program());
-      if (core::is_allowed(an, model, t.outcome()) !=
-          core::is_allowed(an, candidate_model, t.outcome())) {
+  if (result.verified) {
+    std::vector<core::MemoryModel> row_models{model};
+    for (const auto& candidate : result.candidates) {
+      row_models.push_back(candidate.to_model());
+    }
+    const auto suite = enumeration::corollary1_suite(true);
+    const auto matrix = eng.run_matrix(row_models, suite);
+    for (int c = 1; c < matrix.rows(); ++c) {
+      if (!matrix.rows_equal(0, c)) {
         result.verified = false;
         break;
       }
     }
-    if (!result.verified) break;
   }
   return result;
 }

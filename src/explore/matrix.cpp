@@ -1,6 +1,5 @@
 #include "explore/matrix.h"
 
-#include "core/analysis.h"
 #include "util/check.h"
 
 namespace mcmc::explore {
@@ -19,35 +18,42 @@ std::string to_string(Relation r) {
   MCMC_UNREACHABLE("bad relation");
 }
 
+namespace {
+
+engine::Backend to_backend(core::Engine engine) {
+  return engine == core::Engine::Sat ? engine::Backend::Sat
+                                     : engine::Backend::Explicit;
+}
+
+}  // namespace
+
 AdmissibilityMatrix::AdmissibilityMatrix(
     const std::vector<core::MemoryModel>& models,
-    const std::vector<litmus::LitmusTest>& tests, core::Engine engine)
-    : num_tests_(static_cast<int>(tests.size())) {
-  // Analyze each test once; reuse across all models.
-  std::vector<core::Analysis> analyses;
-  analyses.reserve(tests.size());
-  for (const auto& t : tests) analyses.emplace_back(t.program());
+    const std::vector<litmus::LitmusTest>& tests, core::Engine engine) {
+  engine::EngineOptions options;
+  options.backend = to_backend(engine);
+  engine::VerdictEngine eng(options);
+  bits_ = eng.run_matrix(models, tests);
+  stats_ = eng.last_stats();
+}
 
-  rows_.reserve(models.size());
-  for (const auto& model : models) {
-    std::vector<bool> row;
-    row.reserve(tests.size());
-    for (std::size_t t = 0; t < tests.size(); ++t) {
-      row.push_back(
-          core::is_allowed(analyses[t], model, tests[t].outcome(), engine));
-    }
-    rows_.push_back(std::move(row));
-  }
+AdmissibilityMatrix::AdmissibilityMatrix(
+    engine::VerdictEngine& eng, const std::vector<core::MemoryModel>& models,
+    const std::vector<litmus::LitmusTest>& tests) {
+  bits_ = eng.run_matrix(models, tests);
+  stats_ = eng.last_stats();
 }
 
 Relation AdmissibilityMatrix::compare(int a, int b) const {
+  MCMC_REQUIRE(a >= 0 && a < num_models());
+  MCMC_REQUIRE(b >= 0 && b < num_models());
+  const std::uint64_t* ra = bits_.row(a);
+  const std::uint64_t* rb = bits_.row(b);
   bool first_extra = false;
   bool second_extra = false;
-  for (int t = 0; t < num_tests_; ++t) {
-    const bool va = allowed(a, t);
-    const bool vb = allowed(b, t);
-    if (va && !vb) first_extra = true;
-    if (vb && !va) second_extra = true;
+  for (std::size_t w = 0; w < bits_.words_per_row(); ++w) {
+    first_extra |= (ra[w] & ~rb[w]) != 0;
+    second_extra |= (rb[w] & ~ra[w]) != 0;
   }
   if (first_extra && second_extra) return Relation::Incomparable;
   if (first_extra) return Relation::FirstWeaker;
@@ -57,18 +63,34 @@ Relation AdmissibilityMatrix::compare(int a, int b) const {
 
 std::vector<int> AdmissibilityMatrix::distinguishing_tests(int a,
                                                            int b) const {
+  MCMC_REQUIRE(a >= 0 && a < num_models());
+  MCMC_REQUIRE(b >= 0 && b < num_models());
+  const std::uint64_t* ra = bits_.row(a);
+  const std::uint64_t* rb = bits_.row(b);
   std::vector<int> out;
-  for (int t = 0; t < num_tests_; ++t) {
-    if (allowed(a, t) != allowed(b, t)) out.push_back(t);
+  for (std::size_t w = 0; w < bits_.words_per_row(); ++w) {
+    std::uint64_t diff = ra[w] ^ rb[w];
+    while (diff != 0) {
+      out.push_back(static_cast<int>(w * 64) + __builtin_ctzll(diff));
+      diff &= diff - 1;
+    }
   }
   return out;
 }
 
 std::vector<int> AdmissibilityMatrix::allowed_by_first_only(int a,
                                                             int b) const {
+  MCMC_REQUIRE(a >= 0 && a < num_models());
+  MCMC_REQUIRE(b >= 0 && b < num_models());
+  const std::uint64_t* ra = bits_.row(a);
+  const std::uint64_t* rb = bits_.row(b);
   std::vector<int> out;
-  for (int t = 0; t < num_tests_; ++t) {
-    if (allowed(a, t) && !allowed(b, t)) out.push_back(t);
+  for (std::size_t w = 0; w < bits_.words_per_row(); ++w) {
+    std::uint64_t extra = ra[w] & ~rb[w];
+    while (extra != 0) {
+      out.push_back(static_cast<int>(w * 64) + __builtin_ctzll(extra));
+      extra &= extra - 1;
+    }
   }
   return out;
 }

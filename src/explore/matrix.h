@@ -5,13 +5,19 @@
 // quadratic pairwise comparison of Section 4.2 into cheap row operations
 // (the paper reports 20 minutes for the pairwise sweep; the matrix method
 // finishes in seconds).
+//
+// The matrix is a thin wrapper over engine::VerdictEngine: construction
+// is one batched, parallel, cached engine run, rows are packed 64-bit
+// words, and `compare` / `distinguishing_tests` are word-wise sweeps.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/checker.h"
 #include "core/model.h"
+#include "engine/verdict_engine.h"
 #include "litmus/test.h"
 
 namespace mcmc::explore {
@@ -29,19 +35,27 @@ enum class Relation {
 /// Precomputed verdicts for a set of models over a test suite.
 class AdmissibilityMatrix {
  public:
-  /// Runs every (model, test) check.  Analyses are shared across models.
+  /// Runs every (model, test) check through a private VerdictEngine;
+  /// `engine` picks the decision procedure (kept for source
+  /// compatibility with pre-engine callers).
   AdmissibilityMatrix(const std::vector<core::MemoryModel>& models,
                       const std::vector<litmus::LitmusTest>& tests,
                       core::Engine engine = core::Engine::Explicit);
 
-  [[nodiscard]] int num_models() const {
-    return static_cast<int>(rows_.size());
-  }
-  [[nodiscard]] int num_tests() const { return num_tests_; }
+  /// Runs every (model, test) check through `eng`, sharing its verdict
+  /// cache, thread pool, and backend policy.
+  AdmissibilityMatrix(engine::VerdictEngine& eng,
+                      const std::vector<core::MemoryModel>& models,
+                      const std::vector<litmus::LitmusTest>& tests);
+
+  [[nodiscard]] int num_models() const { return bits_.rows(); }
+  [[nodiscard]] int num_tests() const { return bits_.cols(); }
 
   /// Verdict of model `m` on test `t`.
   [[nodiscard]] bool allowed(int m, int t) const {
-    return rows_[static_cast<std::size_t>(m)][static_cast<std::size_t>(t)];
+    MCMC_REQUIRE(m >= 0 && m < num_models());
+    MCMC_REQUIRE(t >= 0 && t < num_tests());
+    return bits_.get(m, t);
   }
 
   /// Relation of models `a` and `b` induced by the suite.
@@ -53,9 +67,17 @@ class AdmissibilityMatrix {
   /// A test allowed by `a` and forbidden by `b` (first index), if any.
   [[nodiscard]] std::vector<int> allowed_by_first_only(int a, int b) const;
 
+  /// The packed verdict rows (64 verdicts per word).
+  [[nodiscard]] const engine::BitMatrix& bits() const { return bits_; }
+
+  /// Engine statistics of the construction batch.
+  [[nodiscard]] const engine::EngineStats& build_stats() const {
+    return stats_;
+  }
+
  private:
-  int num_tests_ = 0;
-  std::vector<std::vector<bool>> rows_;
+  engine::BitMatrix bits_;
+  engine::EngineStats stats_;
 };
 
 }  // namespace mcmc::explore

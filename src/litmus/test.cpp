@@ -1,5 +1,10 @@
 #include "litmus/test.h"
 
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
 namespace mcmc::litmus {
 
 std::string LitmusTest::to_string() const {
@@ -9,6 +14,135 @@ std::string LitmusTest::to_string() const {
   out += program_.to_string();
   out += "Outcome: " + outcome_.to_string() + "\n";
   return out;
+}
+
+std::string structural_key(const LitmusTest& test) {
+  std::string key;
+  for (const auto& thread : test.program().threads()) {
+    key += '|';
+    for (const auto& instr : thread) {
+      key += ';';
+      key += std::to_string(static_cast<int>(instr.op));
+      key += ',' + std::to_string(instr.loc);
+      key += ',' + std::to_string(instr.addr_reg);
+      key += ',' + std::to_string(instr.dst);
+      key += ',' + std::to_string(instr.src);
+      key += ',' + std::to_string(instr.value);
+      key += ',' + std::to_string(static_cast<int>(instr.value_from_reg));
+    }
+  }
+  key += '#';
+  for (const auto& [reg, value] : test.outcome().constraints()) {
+    key += std::to_string(reg) + '=' + std::to_string(value) + ';';
+  }
+  return key;
+}
+
+namespace {
+
+/// Serializes the resolved events with threads taken in `perm` order,
+/// relabeling locations by first appearance.
+std::string serialize_permuted(const core::Analysis& an,
+                               const core::Outcome& outcome,
+                               const std::vector<int>& perm) {
+  std::map<core::Loc, int> loc_id;
+  auto canon_loc = [&](core::Loc loc) {
+    const auto [it, _] = loc_id.emplace(loc, static_cast<int>(loc_id.size()));
+    return std::to_string(it->second);
+  };
+  auto required = [&](core::Reg reg) -> std::string {
+    if (reg < 0) return "*";
+    const auto v = outcome.required(reg);
+    return v ? std::to_string(*v) : "*";
+  };
+
+  std::string key;
+  for (const int t : perm) {
+    key += '|';
+    const int len = static_cast<int>(an.program().thread(t).size());
+    for (int i = 0; i < len; ++i) {
+      const auto& ev = an.event(an.event_id(t, i));
+      key += ';';
+      switch (ev.op) {
+        case core::Op::Read:
+          key += 'R' + canon_loc(ev.loc) + '=' + required(ev.dst);
+          break;
+        case core::Op::Write:
+          key += 'W' + canon_loc(ev.loc) + '<' + std::to_string(ev.value);
+          break;
+        case core::Op::Fence:
+          key += 'F';
+          break;
+        case core::Op::Branch:
+          key += 'B';
+          break;
+        case core::Op::DepConst:
+          // The constant only reaches verdicts through resolved
+          // addresses, store values, and the dependency matrices (all
+          // serialized elsewhere) — except when the outcome constrains
+          // the defined register directly.
+          key += 'D';
+          if (ev.dst >= 0 && outcome.required(ev.dst)) {
+            key += 'v' + std::to_string(ev.value) + 'q' + required(ev.dst);
+          }
+          break;
+      }
+    }
+  }
+
+  // Within-thread dependency matrices, in the same permuted order.
+  key += '#';
+  for (const int t : perm) {
+    key += '|';
+    const int len = static_cast<int>(an.program().thread(t).size());
+    for (int i = 0; i < len; ++i) {
+      for (int j = i + 1; j < len; ++j) {
+        const core::EventId a = an.event_id(t, i);
+        const core::EventId b = an.event_id(t, j);
+        key += static_cast<char>('0' + (an.data_dep(a, b) ? 1 : 0) +
+                                 (an.ctrl_dep(a, b) ? 2 : 0));
+      }
+    }
+  }
+
+  // Outcome constraints on registers no event defines (pathological, but
+  // they make outcomes unsatisfiable and so must stay part of the key).
+  std::set<core::Reg> defined;
+  for (const auto& ev : an.events()) {
+    if (ev.dst >= 0) defined.insert(ev.dst);
+  }
+  for (const auto& [reg, value] : outcome.constraints()) {
+    if (defined.count(reg) == 0) {
+      key += '!' + std::to_string(reg) + '=' + std::to_string(value);
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string canonical_key(const core::Analysis& analysis,
+                          const core::Outcome& outcome) {
+  const int num_threads = analysis.program().num_threads();
+  std::vector<int> perm(static_cast<std::size_t>(num_threads));
+  std::iota(perm.begin(), perm.end(), 0);
+
+  // Minimize over thread permutations; beyond 6 threads the factorial
+  // sweep stops paying for itself, and the identity order is still a
+  // sound (just less deduplicating) key.
+  if (num_threads > 6) return serialize_permuted(analysis, outcome, perm);
+
+  std::string best = serialize_permuted(analysis, outcome, perm);
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    std::string candidate = serialize_permuted(analysis, outcome, perm);
+    if (candidate < best) best = std::move(candidate);
+  }
+  return best;
+}
+
+std::string canonical_key(const LitmusTest& test) {
+  const core::Analysis analysis(test.program());
+  return canonical_key(analysis, test.outcome());
 }
 
 }  // namespace mcmc::litmus

@@ -41,4 +41,27 @@ class LitmusTest {
   core::Outcome outcome_;
 };
 
+/// Syntactic identity key: equal keys mean the programs match
+/// instruction-for-instruction (same thread order, locations, registers)
+/// and the outcomes constrain the same registers to the same values.
+/// Safe for deduplicating verdicts under *any* model.
+[[nodiscard]] std::string structural_key(const LitmusTest& test);
+
+/// Canonical semantic key over the *resolved* event structure: threads
+/// are serialized in the lexicographically least order, locations are
+/// relabeled by first appearance per candidate order, and registers are
+/// erased entirely (they only reach verdicts through the dependency
+/// matrices and outcome constraints, both of which are serialized
+/// directly).  Two tests with equal canonical keys receive the same
+/// verdict from every model whose must-not-reorder formula uses only the
+/// built-in predicates — the atoms (Read/Write/Fence, SameAddr, DataDep,
+/// ControlDep) are invariant under exactly these renamings.  Formulas
+/// with custom predicates may inspect raw thread/location identity, so
+/// callers must fall back to `structural_key` for those models.
+[[nodiscard]] std::string canonical_key(const core::Analysis& analysis,
+                                        const core::Outcome& outcome);
+
+/// Convenience overload that analyzes `test.program()` internally.
+[[nodiscard]] std::string canonical_key(const LitmusTest& test);
+
 }  // namespace mcmc::litmus
