@@ -13,6 +13,7 @@
 
 #include "core/analysis.h"
 #include "core/checker.h"
+#include "core/prepared.h"
 #include "engine/verdict_engine.h"
 #include "enumeration/suite.h"
 #include "explore/matrix.h"
@@ -68,6 +69,31 @@ void BM_SingleCheck_Sat(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SingleCheck_Sat);
+
+/// One prepared check (the per-cell unit of the prepared fast path):
+/// rf maps and skeletons are hoisted, so an iteration is one compiled
+/// mask + the allocation-free closure DFS.  Compare against
+/// BM_SingleCheck_Explicit for the per-cell win.
+void BM_SingleCheck_Prepared(benchmark::State& state) {
+  const auto model = models::tso();
+  const auto& t = litmus::test_a();
+  const core::PreparedTest prep(t.program(), t.outcome());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prep.allowed(model, core::Engine::Explicit));
+  }
+}
+BENCHMARK(BM_SingleCheck_Prepared);
+
+/// Building the prepared skeleton itself (analysis + rf enumeration +
+/// per-rf skeletons): the one-off cost amortized across a model space.
+void BM_PreparedTestBuild(benchmark::State& state) {
+  const auto& t = litmus::test_a();
+  for (auto _ : state) {
+    const core::PreparedTest prep(t.program(), t.outcome());
+    benchmark::DoNotOptimize(prep.skeletons().size());
+  }
+}
+BENCHMARK(BM_PreparedTestBuild);
 
 /// One pairwise model comparison over the full suite (the unit the paper
 /// reports as "a few seconds"): pre-analyzed tests, per-cell checks, so
@@ -156,6 +182,24 @@ void BM_Full90ModelExploration_EngineCold(benchmark::State& state) {
 BENCHMARK(BM_Full90ModelExploration_EngineCold)
     ->Arg(1)
     ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same cold sweep with the prepared fast path disabled (the PR-1
+/// per-cell core::is_allowed loop), single-threaded: the direct
+/// prepared-vs-PR-1 per-cell comparison.
+void BM_Full90ModelExploration_EngineCold_PR1Path(benchmark::State& state) {
+  for (auto _ : state) {
+    engine::EngineOptions options;
+    options.num_threads = 1;
+    options.prepared = false;
+    engine::VerdictEngine eng(options);
+    const explore::AdmissibilityMatrix matrix(eng, space_models(), suite());
+    if (count_equivalent(matrix) != 8) {
+      state.SkipWithError("expected 8 equivalent pairs");
+    }
+  }
+}
+BENCHMARK(BM_Full90ModelExploration_EngineCold_PR1Path)
     ->Unit(benchmark::kMillisecond);
 
 /// Engine sweep, warm: one persistent engine, so every iteration after

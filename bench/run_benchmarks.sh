@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark harness with machine-readable output so the
+# repo accumulates a perf trajectory.
+#
+#   bench/run_benchmarks.sh [BUILD_DIR] [OUT_JSON]
+#
+# BUILD_DIR defaults to ./build, OUT_JSON to BENCH_runtime.json in the
+# current directory.  The build must have been configured in Release
+# (the default) with google-benchmark available; if bench_runtime was
+# skipped at configure time this script reports that and exits 0 so CI
+# smoke jobs degrade gracefully on hosts without the library.
+#
+# Extra arguments after the first two are forwarded to bench_runtime,
+# e.g. --benchmark_filter=BM_SingleCheck or --benchmark_repetitions=3.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_runtime.json}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+BIN="$BUILD_DIR/bench_runtime"
+if [[ ! -x "$BIN" ]]; then
+  echo "run_benchmarks: $BIN not built (google-benchmark missing at" \
+       "configure time?); skipping" >&2
+  exit 0
+fi
+
+"$BIN" --benchmark_format=json --benchmark_out="$OUT_JSON" \
+       --benchmark_out_format=json "$@"
+
+echo "run_benchmarks: wrote $OUT_JSON"

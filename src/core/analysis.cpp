@@ -10,6 +10,7 @@ Analysis::Analysis(const Program& program) : program_(&program) {
   program.validate();
   resolve_events();
   compute_deps();
+  compute_indexes();
 }
 
 void Analysis::resolve_events() {
@@ -34,6 +35,8 @@ void Analysis::resolve_events() {
           const auto it = static_value.find(instr.addr_reg);
           MCMC_CHECK_MSG(it != static_value.end(),
                          "address register not statically resolvable");
+          MCMC_CHECK_MSG(it->second >= 0,
+                         "address register resolves to a negative location");
           e.loc = it->second;
         } else {
           e.loc = instr.loc;
@@ -132,20 +135,69 @@ EventId Analysis::event_id(int thread, int index) const {
   return thread_base_[static_cast<std::size_t>(thread)] + index;
 }
 
-std::vector<EventId> Analysis::writes_to(Loc loc) const {
-  std::vector<EventId> out;
-  for (EventId e = 0; e < num_events(); ++e) {
-    if (is_write(e) && event(e).loc == loc) out.push_back(e);
+void Analysis::compute_indexes() {
+  const int n = num_events();
+  writes_by_loc_.assign(
+      static_cast<std::size_t>(program_->num_locations()), {});
+  for (EventId e = 0; e < n; ++e) {
+    if (is_write(e)) {
+      writes_by_loc_[static_cast<std::size_t>(event(e).loc)].push_back(e);
+    }
+    if (is_read(e)) reads_.push_back(e);
   }
-  return out;
+
+  for (EventId a = 0; a < n; ++a) {
+    for (EventId b = 0; b < n; ++b) {
+      if (a != b && po(a, b)) ++num_po_pairs_;
+    }
+  }
+
+  if (!masks_valid()) return;
+  po_mask_.assign(static_cast<std::size_t>(n), 0);
+  same_addr_mask_.assign(static_cast<std::size_t>(n), 0);
+  data_dep_mask_.assign(static_cast<std::size_t>(n), 0);
+  ctrl_dep_mask_.assign(static_cast<std::size_t>(n), 0);
+  for (EventId a = 0; a < n; ++a) {
+    const std::uint64_t bit = 1ULL << a;
+    if (is_read(a)) reads_mask_ |= bit;
+    if (is_write(a)) writes_mask_ |= bit;
+    if (is_fence(a)) fences_mask_ |= bit;
+    for (EventId b = 0; b < n; ++b) {
+      if (b == a) continue;
+      const std::uint64_t bbit = 1ULL << b;
+      const auto sa = static_cast<std::size_t>(a);
+      if (po(a, b)) po_mask_[sa] |= bbit;
+      if (same_addr(a, b)) same_addr_mask_[sa] |= bbit;
+      if (data_dep(a, b)) data_dep_mask_[sa] |= bbit;
+      if (ctrl_dep(a, b)) ctrl_dep_mask_[sa] |= bbit;
+    }
+  }
 }
 
-std::vector<EventId> Analysis::reads() const {
-  std::vector<EventId> out;
-  for (EventId e = 0; e < num_events(); ++e) {
-    if (is_read(e)) out.push_back(e);
-  }
-  return out;
+const std::vector<EventId>& Analysis::writes_to(Loc loc) const {
+  MCMC_REQUIRE(loc >= 0 &&
+               loc < static_cast<Loc>(writes_by_loc_.size()));
+  return writes_by_loc_[static_cast<std::size_t>(loc)];
+}
+
+std::uint64_t Analysis::po_mask(EventId x) const {
+  MCMC_REQUIRE(masks_valid() && x >= 0 && x < num_events());
+  return po_mask_[static_cast<std::size_t>(x)];
+}
+
+std::uint64_t Analysis::same_addr_mask(EventId x) const {
+  MCMC_REQUIRE(masks_valid() && x >= 0 && x < num_events());
+  return same_addr_mask_[static_cast<std::size_t>(x)];
+}
+
+std::uint64_t Analysis::data_dep_mask(EventId x) const {
+  MCMC_REQUIRE(masks_valid() && x >= 0 && x < num_events());
+  return data_dep_mask_[static_cast<std::size_t>(x)];
+}
+
+std::uint64_t Analysis::ctrl_dep_mask(EventId x) const {
+  MCMC_REQUIRE(masks_valid() && x >= 0 && x < num_events());
+  return ctrl_dep_mask_[static_cast<std::size_t>(x)];
 }
 
 bool Analysis::po(EventId a, EventId b) const {

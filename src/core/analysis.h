@@ -8,6 +8,7 @@
 // instruction execution with everything but read results resolved.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/program.h"
@@ -45,11 +46,13 @@ class Analysis {
   /// Event id of instruction `index` in `thread`.
   [[nodiscard]] EventId event_id(int thread, int index) const;
 
-  /// All write events to `loc`, in event-id order.
-  [[nodiscard]] std::vector<EventId> writes_to(Loc loc) const;
+  /// All write events to `loc`, in event-id order.  Precomputed; the
+  /// reference stays valid for the analysis' lifetime.
+  [[nodiscard]] const std::vector<EventId>& writes_to(Loc loc) const;
 
-  /// All read events, in event-id order.
-  [[nodiscard]] std::vector<EventId> reads() const;
+  /// All read events, in event-id order.  Precomputed; the reference
+  /// stays valid for the analysis' lifetime.
+  [[nodiscard]] const std::vector<EventId>& reads() const { return reads_; }
 
   /// Program order: true iff `a` and `b` are in the same thread and `a`
   /// precedes `b`.
@@ -85,15 +88,57 @@ class Analysis {
   /// po(a, b).
   [[nodiscard]] bool ctrl_dep(EventId a, EventId b) const;
 
+  // ---- Predicate bitmask rows (events packed into std::uint64_t) ----
+  //
+  // Available when the program has at most 64 events (the explicit
+  // engine's regime); Formula::eval_po_matrix compiles must-not-reorder
+  // functions over them in a single tree traversal instead of one
+  // tree-walk per event pair.
+
+  /// True iff the bitmask accessors below are available.
+  [[nodiscard]] bool masks_valid() const { return num_events() <= 64; }
+
+  /// Bit e set iff event e is a read / write / fence.
+  [[nodiscard]] std::uint64_t reads_mask() const { return reads_mask_; }
+  [[nodiscard]] std::uint64_t writes_mask() const { return writes_mask_; }
+  [[nodiscard]] std::uint64_t fences_mask() const { return fences_mask_; }
+
+  /// Bit y set iff po(x, y) — x's program-order successors.
+  [[nodiscard]] std::uint64_t po_mask(EventId x) const;
+  /// Bit y set iff SameAddr(x, y).
+  [[nodiscard]] std::uint64_t same_addr_mask(EventId x) const;
+  /// Bit y set iff DataDep(x, y).
+  [[nodiscard]] std::uint64_t data_dep_mask(EventId x) const;
+  /// Bit y set iff ControlDep(x, y).
+  [[nodiscard]] std::uint64_t ctrl_dep_mask(EventId x) const;
+
+  /// Number of ordered pairs (x, y) with po(x, y) — the per-rf-map
+  /// must-not-reorder evaluation count of the unprepared check path.
+  [[nodiscard]] int num_po_pairs() const { return num_po_pairs_; }
+
  private:
   void resolve_events();
   void compute_deps();
+  void compute_indexes();
 
   const Program* program_;
   std::vector<Event> events_;
   std::vector<int> thread_base_;        // first EventId of each thread
   std::vector<std::vector<bool>> dep_;  // dep_[a][b]: data dependency
   std::vector<std::vector<bool>> cdep_;  // cdep_[a][b]: control dependency
+
+  std::vector<std::vector<EventId>> writes_by_loc_;  // index: location
+  std::vector<EventId> reads_;
+  int num_po_pairs_ = 0;
+
+  // Bitmask rows; empty when !masks_valid().
+  std::uint64_t reads_mask_ = 0;
+  std::uint64_t writes_mask_ = 0;
+  std::uint64_t fences_mask_ = 0;
+  std::vector<std::uint64_t> po_mask_;
+  std::vector<std::uint64_t> same_addr_mask_;
+  std::vector<std::uint64_t> data_dep_mask_;
+  std::vector<std::uint64_t> ctrl_dep_mask_;
 };
 
 }  // namespace mcmc::core

@@ -76,7 +76,8 @@ ForbiddenExplanation explain_forbidden(const Analysis& an,
                                        const Outcome& outcome) {
   ForbiddenExplanation result;
   for (const RfMap& rf : enumerate_read_from(an, outcome)) {
-    const HbProblem p = build_hb_problem(an, model, rf);
+    HbTrace trace;
+    const HbProblem p = build_hb_problem_traced(an, model, rf, trace);
     if (hb_satisfiable(p, Engine::Explicit)) {
       result.actually_allowed = true;
       result.candidates.clear();
@@ -95,7 +96,7 @@ ForbiddenExplanation explain_forbidden(const Analysis& an,
           const auto [x, y] = p.forced[i];
           item.forced_cycle.push_back(
               event_label(an, x) + "  =>  " + event_label(an, y) + "   [" +
-              to_string(p.forced_origin[i]) + "]");
+              to_string(trace.forced_origin[i]) + "]");
         }
         item.summary = "the forced happens-before edges close a cycle";
       } else {

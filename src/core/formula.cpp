@@ -114,6 +114,117 @@ bool Formula::eval(const Analysis& analysis, EventId x, EventId y) const {
   return Rec::go(*node_, analysis, x, y);
 }
 
+std::size_t Formula::eval_po_matrix(const Analysis& analysis,
+                                    std::array<std::uint64_t, 64>& rows) const {
+  MCMC_REQUIRE_MSG(analysis.masks_valid(),
+                   "eval_po_matrix needs a <= 64-event analysis");
+  // One frame per subformula: row x is the mask of events y for which
+  // the subformula holds on (x, y).  Frames are stack values (the
+  // matrix path must not heap-allocate).
+  struct Matrix {
+    std::array<std::uint64_t, 64> rows;
+  };
+  struct Rec {
+    static std::size_t atom(const Node& nd, const Analysis& an, Matrix& out) {
+      const int n = an.num_events();
+      const std::uint64_t full = n == 64 ? ~0ULL : (1ULL << n) - 1;
+      const auto fill = [&](auto&& row_of) {
+        for (EventId x = 0; x < n; ++x) {
+          out.rows[static_cast<std::size_t>(x)] = row_of(x);
+        }
+      };
+      std::size_t pair_evals = 0;
+      switch (nd.atom) {
+        case Atom::True:
+          fill([&](EventId) { return full; });
+          break;
+        case Atom::False:
+          fill([](EventId) { return 0ULL; });
+          break;
+        case Atom::ReadX:
+          fill([&](EventId x) { return an.is_read(x) ? full : 0ULL; });
+          break;
+        case Atom::ReadY:
+          fill([&](EventId) { return an.reads_mask(); });
+          break;
+        case Atom::WriteX:
+          fill([&](EventId x) { return an.is_write(x) ? full : 0ULL; });
+          break;
+        case Atom::WriteY:
+          fill([&](EventId) { return an.writes_mask(); });
+          break;
+        case Atom::FenceX:
+          fill([&](EventId x) { return an.is_fence(x) ? full : 0ULL; });
+          break;
+        case Atom::FenceY:
+          fill([&](EventId) { return an.fences_mask(); });
+          break;
+        case Atom::SameAddr:
+          fill([&](EventId x) { return an.same_addr_mask(x); });
+          break;
+        case Atom::DataDep:
+          fill([&](EventId x) { return an.data_dep_mask(x); });
+          break;
+        case Atom::ControlDep:
+          fill([&](EventId x) { return an.ctrl_dep_mask(x); });
+          break;
+        case Atom::Custom:
+          // Opaque predicate: per-pair calls, restricted to the po pairs
+          // the final matrix is masked to anyway.
+          for (EventId x = 0; x < n; ++x) {
+            std::uint64_t row = 0;
+            std::uint64_t todo = an.po_mask(x);
+            while (todo != 0) {
+              const int y = __builtin_ctzll(todo);
+              todo &= todo - 1;
+              ++pair_evals;
+              if (nd.custom_pred(an, x, y)) row |= 1ULL << y;
+            }
+            out.rows[static_cast<std::size_t>(x)] = row;
+          }
+          break;
+      }
+      return pair_evals;
+    }
+
+    static std::size_t go(const Node& nd, const Analysis& an, Matrix& out) {
+      const int n = an.num_events();
+      switch (nd.kind) {
+        case Node::Kind::Atom:
+          return atom(nd, an, out);
+        case Node::Kind::And:
+        case Node::Kind::Or: {
+          std::size_t pair_evals = go(*nd.children.front(), an, out);
+          for (std::size_t c = 1; c < nd.children.size(); ++c) {
+            Matrix child;
+            pair_evals += go(*nd.children[c], an, child);
+            for (EventId x = 0; x < n; ++x) {
+              const auto sx = static_cast<std::size_t>(x);
+              if (nd.kind == Node::Kind::And) {
+                out.rows[sx] &= child.rows[sx];
+              } else {
+                out.rows[sx] |= child.rows[sx];
+              }
+            }
+          }
+          return pair_evals;
+        }
+      }
+      MCMC_UNREACHABLE("bad node kind");
+    }
+  };
+
+  Matrix m;
+  const std::size_t pair_evals = Rec::go(*node_, analysis, m);
+  const int n = analysis.num_events();
+  for (EventId x = 0; x < n; ++x) {
+    rows[static_cast<std::size_t>(x)] =
+        m.rows[static_cast<std::size_t>(x)] & analysis.po_mask(x);
+  }
+  for (int x = n; x < 64; ++x) rows[static_cast<std::size_t>(x)] = 0;
+  return pair_evals;
+}
+
 bool Formula::is_false() const {
   return node_->kind == Node::Kind::Atom && node_->atom == Atom::False;
 }

@@ -12,6 +12,9 @@
 // `&&` and `||`.  Negation is intentionally absent (the class is positive).
 #pragma once
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -57,6 +60,16 @@ class Formula {
   /// Evaluates F(x, y) for events with po(x, y) in `analysis`.
   [[nodiscard]] bool eval(const Analysis& analysis, EventId x,
                           EventId y) const;
+
+  /// Evaluates F over every program-order pair in ONE tree traversal:
+  /// on return, bit y of `rows[x]` is set iff po(x, y) and F(x, y).
+  /// Built-in atoms combine the analysis' precomputed bitmask rows
+  /// word-wise; custom-predicate atoms fall back to per-pair calls.
+  /// Requires `analysis.masks_valid()` (at most 64 events); performs no
+  /// heap allocation for custom-free formulas.  Returns the number of
+  /// per-pair fallback evaluations performed (0 when custom-free).
+  std::size_t eval_po_matrix(const Analysis& analysis,
+                             std::array<std::uint64_t, 64>& rows) const;
 
   /// Renders the formula, e.g. "(Write(x) & Write(y)) | Fence(x) | Fence(y)".
   [[nodiscard]] std::string to_string() const;

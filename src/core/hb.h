@@ -39,6 +39,10 @@ using Edge = std::pair<EventId, EventId>;
 struct EdgeDisjunction {
   Edge first;
   Edge second;
+
+  friend bool operator==(const EdgeDisjunction& a, const EdgeDisjunction& b) {
+    return a.first == b.first && a.second == b.second;
+  }
 };
 
 /// Which axiom produced a forced edge (used by explanations).
@@ -52,19 +56,49 @@ enum class EdgeOrigin {
 
 [[nodiscard]] const char* to_string(EdgeOrigin origin);
 
-/// Engine-independent happens-before constraint set.
+/// Engine-independent happens-before constraint set.  Deliberately free
+/// of provenance bookkeeping — this is the struct the hot check path
+/// builds; explanation/witness callers use `build_hb_problem_traced` to
+/// get origins alongside.
 struct HbProblem {
   int num_events = 0;
   bool infeasible = false;                   ///< rf contradicts coherence
   std::vector<Edge> forced;                  ///< must be in =>
-  std::vector<EdgeOrigin> forced_origin;     ///< parallel to `forced`
   std::vector<Edge> forbidden;               ///< must NOT be in =>
   std::vector<EdgeDisjunction> disjunctions; ///< at least one must hold
+};
+
+/// Provenance of a problem's forced edges; `forced_origin[i]` explains
+/// `problem.forced[i]`.
+struct HbTrace {
+  std::vector<EdgeOrigin> forced_origin;
+};
+
+/// The model-independent slice of an rf map's HbProblem: every
+/// constraint except the program-order (F) edges, which are the only
+/// part that varies across models.  core::PreparedTest builds one per
+/// rf map and shares it across an entire model space.
+struct HbSkeleton {
+  bool infeasible = false;                   ///< rf contradicts coherence
+  std::vector<Edge> forced;                  ///< coherence / rf / fr edges
+  std::vector<EdgeDisjunction> disjunctions; ///< ww + rw choices
 };
 
 /// Instantiates the five axioms for (analysis, model, rf).
 [[nodiscard]] HbProblem build_hb_problem(const Analysis& analysis,
                                          const MemoryModel& model,
                                          const RfMap& rf);
+
+/// As `build_hb_problem`, recording each forced edge's origin into
+/// `trace` (the explanation path; the hot path skips the bookkeeping).
+[[nodiscard]] HbProblem build_hb_problem_traced(const Analysis& analysis,
+                                                const MemoryModel& model,
+                                                const RfMap& rf,
+                                                HbTrace& trace);
+
+/// Instantiates only the model-independent axioms (everything but
+/// program order) for (analysis, rf).
+[[nodiscard]] HbSkeleton build_hb_skeleton(const Analysis& analysis,
+                                           const RfMap& rf);
 
 }  // namespace mcmc::core

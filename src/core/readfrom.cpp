@@ -58,7 +58,7 @@ std::vector<RfMap> enumerate_read_from(const Analysis& an,
   std::vector<RfMap> result;
   if (!static_constraints_ok(an, outcome)) return result;
 
-  const std::vector<EventId> reads = an.reads();
+  const std::vector<EventId>& reads = an.reads();
   std::vector<std::vector<EventId>> candidates;
   candidates.reserve(reads.size());
   for (const EventId r : reads) {

@@ -43,6 +43,10 @@ EngineStats& EngineStats::operator+=(const EngineStats& other) {
   explicit_checks += other.explicit_checks;
   sat_checks += other.sat_checks;
   unique_analyses += other.unique_analyses;
+  rf_enums_saved += other.rf_enums_saved;
+  skeletons_reused += other.skeletons_reused;
+  formula_evals += other.formula_evals;
+  formula_evals_saved += other.formula_evals_saved;
   if (other.threads_used > threads_used) threads_used = other.threads_used;
   wall_seconds += other.wall_seconds;
   return *this;
@@ -53,8 +57,12 @@ std::string EngineStats::to_string() const {
   os << "cells=" << cells << " checks=" << checks_run
      << " cache_hits=" << cache_hits << " dedup_hits=" << dedup_hits
      << " backends=explicit:" << explicit_checks << "/sat:" << sat_checks
-     << " analyses=" << unique_analyses << " threads=" << threads_used
-     << " wall=" << wall_seconds << "s";
+     << " analyses=" << unique_analyses
+     << " rf_enums_saved=" << rf_enums_saved
+     << " skeletons_reused=" << skeletons_reused
+     << " formula_evals=" << formula_evals << " (saved "
+     << formula_evals_saved << ")"
+     << " threads=" << threads_used << " wall=" << wall_seconds << "s";
   return os.str();
 }
 
@@ -183,14 +191,28 @@ std::vector<char> VerdictEngine::run_batch(
   const bool need_canonical = options_.cache_enabled && any_canonical;
   const bool need_structural = options_.cache_enabled && any_structural;
 
-  // ---- Analyses (once per test, shared across models) and test keys. ----
+  // ---- Per-test shared state (built once, shared across models and
+  // worker threads) and test keys.  The prepared path hoists the rf
+  // enumeration and per-rf HbProblem skeletons out of the cell loop as
+  // well; the PR-1 path keeps bare analyses. ----
+  std::vector<std::unique_ptr<core::PreparedTest>> prepared(tests.size());
   std::vector<std::unique_ptr<core::Analysis>> analyses(tests.size());
   std::vector<std::string> canonical_keys(tests.size());
   std::vector<std::string> structural_keys(tests.size());
   const auto build_one = [&](std::size_t k) {
     const int t = used_tests[k];
     const auto& test = tests[static_cast<std::size_t>(t)];
-    auto an = std::make_unique<core::Analysis>(test.program());
+    const core::Analysis* an = nullptr;
+    if (options_.prepared) {
+      auto prep =
+          std::make_unique<core::PreparedTest>(test.program(), test.outcome());
+      an = &prep->analysis();
+      prepared[static_cast<std::size_t>(t)] = std::move(prep);
+    } else {
+      auto built = std::make_unique<core::Analysis>(test.program());
+      an = built.get();
+      analyses[static_cast<std::size_t>(t)] = std::move(built);
+    }
     if (need_canonical) {
       canonical_keys[static_cast<std::size_t>(t)] =
           litmus::canonical_key(*an, test.outcome());
@@ -198,7 +220,6 @@ std::vector<char> VerdictEngine::run_batch(
     if (need_structural) {
       structural_keys[static_cast<std::size_t>(t)] = litmus::structural_key(test);
     }
-    analyses[static_cast<std::size_t>(t)] = std::move(an);
   };
   stats.unique_analyses = used_tests.size();
   const int threads = effective_threads();
@@ -339,21 +360,38 @@ std::vector<char> VerdictEngine::run_batch(
     if (!jobs[j].from_cache) pending.push_back(j);
   }
 
-  // ---- Evaluate the deduplicated jobs across the pool. ----
+  // ---- Evaluate the deduplicated jobs across the pool.  The prepared
+  // tests are immutable after construction, so worker threads share
+  // them without synchronization. ----
   std::atomic<std::size_t> explicit_count{0};
   std::atomic<std::size_t> sat_count{0};
+  std::atomic<std::size_t> formula_evals{0};
+  std::atomic<std::size_t> equivalent_evals{0};
+  std::atomic<std::size_t> skeletons_used{0};
   const auto evaluate = [&](std::size_t k) {
     Job& job = jobs[pending[k]];
-    const auto& analysis = *analyses[static_cast<std::size_t>(job.test)];
+    const auto st = static_cast<std::size_t>(job.test);
+    const auto& analysis = options_.prepared ? prepared[st]->analysis()
+                                             : *analyses[st];
     const core::Engine backend = resolve_backend(analysis.num_events());
     if (backend == core::Engine::Explicit) {
       explicit_count.fetch_add(1, std::memory_order_relaxed);
     } else {
       sat_count.fetch_add(1, std::memory_order_relaxed);
     }
-    job.result = core::is_allowed(
-        analysis, models[static_cast<std::size_t>(job.model)],
-        tests[static_cast<std::size_t>(job.test)].outcome(), backend);
+    if (options_.prepared) {
+      core::PreparedCheckStats cs;
+      job.result = prepared[st]->allowed(
+          models[static_cast<std::size_t>(job.model)], backend, &cs);
+      formula_evals.fetch_add(cs.formula_evals, std::memory_order_relaxed);
+      equivalent_evals.fetch_add(cs.equivalent_pair_evals,
+                                 std::memory_order_relaxed);
+      skeletons_used.fetch_add(cs.skeletons_used, std::memory_order_relaxed);
+    } else {
+      job.result = core::is_allowed(
+          analysis, models[static_cast<std::size_t>(job.model)],
+          tests[st].outcome(), backend);
+    }
   };
   if (threads > 1 && pending.size() > 1) {
     pool().parallel_for(pending.size(), evaluate);
@@ -365,6 +403,30 @@ std::vector<char> VerdictEngine::run_batch(
   stats.checks_run = pending.size();
   stats.explicit_checks = explicit_count.load();
   stats.sat_checks = sat_count.load();
+
+  if (options_.prepared) {
+    // Per-test work shared across the batch's checks: each check of the
+    // per-cell path would have re-enumerated rf maps and rebuilt every
+    // skeleton it visited.
+    std::vector<char> test_evaluated(tests.size(), 0);
+    std::size_t distinct_tests = 0;
+    std::size_t skeletons_built = 0;
+    for (const auto j : pending) {
+      const auto st = static_cast<std::size_t>(jobs[j].test);
+      if (!test_evaluated[st]) {
+        test_evaluated[st] = 1;
+        ++distinct_tests;
+        skeletons_built += prepared[st]->skeletons().size();
+      }
+    }
+    stats.rf_enums_saved = pending.size() - distinct_tests;
+    const std::size_t used = skeletons_used.load();
+    stats.skeletons_reused = used > skeletons_built ? used - skeletons_built : 0;
+    stats.formula_evals = formula_evals.load();
+    const std::size_t equivalent = equivalent_evals.load();
+    stats.formula_evals_saved =
+        equivalent > stats.formula_evals ? equivalent - stats.formula_evals : 0;
+  }
 
   // ---- Publish results and feed the persistent cache. ----
   if (options_.cache_enabled) {

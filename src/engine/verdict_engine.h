@@ -11,12 +11,17 @@
 //     by litmus::canonical_key — falling back to structural keys for
 //     models with custom predicates, whose semantics may observe raw
 //     thread/location identity,
+//   * the prepared-check fast path (core::PreparedTest): per-test rf
+//     enumeration and HbProblem skeletons built once and shared across
+//     every model and worker thread, with the model's must-not-reorder
+//     formula compiled into per-event bitmask rows per cell instead of
+//     re-walked per event pair per rf map,
 //   * backend selection per cell: the explicit-closure engine, the SAT
 //     engine, or adaptive (explicit for small instances, SAT beyond the
 //     explicit engine's 64-event bitmask limit),
 //   * a work-stealing std::thread pool parallelizing across cells, and
-//   * per-batch statistics (checks run, cache hits, backend split, wall
-//     time).
+//   * per-batch statistics (checks run, cache hits, backend split,
+//     formula evaluations saved, wall time).
 //
 // explore::AdmissibilityMatrix, model fingerprinting, the examples, and
 // the bench sweeps all route through this engine.
@@ -32,6 +37,7 @@
 
 #include "core/checker.h"
 #include "core/model.h"
+#include "core/prepared.h"
 #include "engine/bit_matrix.h"
 #include "engine/thread_pool.h"
 #include "litmus/test.h"
@@ -65,6 +71,12 @@ struct EngineOptions {
   /// Adaptive backend: instances with more events than this go to SAT.
   /// The explicit engine's transitive-closure bitmasks cap it at 64.
   int sat_event_threshold = 64;
+  /// Route checks through the prepared fast path (core::PreparedTest:
+  /// shared rf enumeration + skeletons, compiled reorder masks,
+  /// allocation-free explicit search).  Off = the PR-1 per-cell
+  /// core::is_allowed loop, kept for benchmarking and differential
+  /// testing; verdicts are bit-for-bit identical either way.
+  bool prepared = true;
 };
 
 /// One cell of a batch: indices into the caller's model and test vectors.
@@ -82,6 +94,21 @@ struct EngineStats {
   std::size_t explicit_checks = 0; ///< checks decided by the explicit engine
   std::size_t sat_checks = 0;      ///< checks decided by the SAT engine
   std::size_t unique_analyses = 0; ///< Analysis constructions this batch
+
+  // Prepared-path accounting (zero when EngineOptions::prepared is off).
+  std::size_t rf_enums_saved = 0;  ///< enumerate_read_from calls avoided
+                                   ///  vs one-per-check (checks minus
+                                   ///  distinct tests evaluated)
+  std::size_t skeletons_reused = 0;///< skeleton consultations beyond each
+                                   ///  prepared test's first build
+  std::size_t formula_evals = 0;   ///< formula evaluations run: compiled
+                                   ///  matrix traversals + per-pair
+                                   ///  fallbacks (custom predicates,
+                                   ///  >64-event analyses)
+  std::size_t formula_evals_saved = 0; ///< per-pair F evaluations the
+                                   ///  per-cell path would have run,
+                                   ///  minus the evaluations above
+
   int threads_used = 1;
   double wall_seconds = 0.0;
 

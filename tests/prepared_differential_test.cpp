@@ -1,0 +1,139 @@
+// Differential tests pinning the prepared fast path to the seed
+// semantics: every verdict produced through core::PreparedTest (and
+// through the engine's prepared routing) must be bit-for-bit identical
+// to the per-cell core::is_allowed loop it replaced — across the full
+// 90-model space x the Corollary-1 suite, both decision engines, custom
+// predicates, and the compiled reorder masks themselves.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/checker.h"
+#include "core/prepared.h"
+#include "engine/verdict_engine.h"
+#include "enumeration/suite.h"
+#include "explore/space.h"
+#include "litmus/catalog.h"
+#include "models/special_fence.h"
+#include "models/zoo.h"
+
+namespace mcmc {
+namespace {
+
+using core::Engine;
+using core::PreparedTest;
+
+TEST(PreparedDifferential, NinetyModelsTimesCorollary1SuiteBitForBit) {
+  const auto suite = enumeration::corollary1_suite(true);
+  const auto space = explore::model_space(true);
+  ASSERT_EQ(space.size(), 90u);
+  std::vector<core::MemoryModel> models;
+  for (const auto& c : space) models.push_back(c.to_model());
+
+  for (const auto& t : suite) {
+    const PreparedTest prep(t.program(), t.outcome());
+    for (const auto& m : models) {
+      ASSERT_EQ(prep.allowed(m, Engine::Explicit),
+                core::is_allowed(prep.analysis(), m, t.outcome(),
+                                 Engine::Explicit))
+          << t.name() << " under " << m.name();
+    }
+  }
+}
+
+TEST(PreparedDifferential, SatBackendAgreesOnTheCatalog) {
+  for (const auto& t : litmus::full_catalog()) {
+    const PreparedTest prep(t.program(), t.outcome());
+    for (const auto& m : models::all_named_models()) {
+      ASSERT_EQ(prep.allowed(m, Engine::Sat),
+                core::is_allowed(prep.analysis(), m, t.outcome(), Engine::Sat))
+          << t.name() << " under " << m.name();
+    }
+  }
+}
+
+TEST(PreparedDifferential, CustomPredicateModelsUsePerPairFallback) {
+  for (int n = 1; n <= 3; ++n) {
+    const auto model = models::special_fence_chain(n);
+    ASSERT_TRUE(model.formula().has_custom());
+    for (int k = 0; k <= 3; ++k) {
+      const auto t = models::lb_with_fence_chain(k);
+      const PreparedTest prep(t.program(), t.outcome());
+      core::PreparedCheckStats stats;
+      const bool fast = prep.allowed(model, Engine::Explicit, &stats);
+      EXPECT_EQ(fast, core::is_allowed(prep.analysis(), model, t.outcome(),
+                                       Engine::Explicit))
+          << "n=" << n << " k=" << k;
+      // Custom atoms cannot be mask-compiled; the fallback runs per-pair.
+      EXPECT_GT(stats.formula_evals, 1u);
+    }
+  }
+}
+
+TEST(PreparedDifferential, CompiledMaskMatchesPerPairEvaluation) {
+  for (const auto& t : litmus::full_catalog()) {
+    const PreparedTest prep(t.program(), t.outcome());
+    const auto& an = prep.analysis();
+    for (const auto& m : models::all_named_models()) {
+      core::ReorderMask mask;
+      prep.compile_mask(m, mask);
+      ASSERT_EQ(mask.num_events, an.num_events());
+      for (core::EventId x = 0; x < an.num_events(); ++x) {
+        for (core::EventId y = 0; y < an.num_events(); ++y) {
+          const bool in_mask =
+              (mask.rows[static_cast<std::size_t>(x)] & (1ULL << y)) != 0;
+          const bool expected = x != y && an.po(x, y) &&
+                                m.must_not_reorder(an, x, y);
+          ASSERT_EQ(in_mask, expected)
+              << t.name() << " under " << m.name() << " pair (" << x << ","
+              << y << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(PreparedDifferential, EngineMatrixIdenticalWithAndWithoutPreparedPath) {
+  const auto suite = enumeration::corollary1_suite(true);
+  std::vector<core::MemoryModel> models;
+  for (const auto& c : explore::model_space(true)) models.push_back(c.to_model());
+
+  engine::EngineOptions prepared_options;
+  prepared_options.backend = engine::Backend::Explicit;
+  prepared_options.num_threads = 2;
+  engine::VerdictEngine prepared_engine(prepared_options);
+
+  engine::EngineOptions pr1_options = prepared_options;
+  pr1_options.prepared = false;
+  engine::VerdictEngine pr1_engine(pr1_options);
+
+  const auto a = prepared_engine.run_matrix(models, suite);
+  const auto b = pr1_engine.run_matrix(models, suite);
+  EXPECT_TRUE(a == b);
+
+  // The prepared path actually engaged and did strictly less formula
+  // work than the per-cell loop it replaced — at least 3x fewer
+  // evaluations on this sweep (measured ~8.7x: one compiled-matrix
+  // traversal per check vs po-pairs x rf-maps tree walks).
+  const auto& stats = prepared_engine.last_stats();
+  EXPECT_GT(stats.formula_evals, 0u);
+  EXPECT_GE(stats.formula_evals_saved, 3 * stats.formula_evals);
+  EXPECT_GT(stats.rf_enums_saved, 0u);
+  EXPECT_EQ(pr1_engine.last_stats().formula_evals, 0u);
+}
+
+TEST(PreparedDifferential, StaticallyImpossibleOutcomeIsDisallowed) {
+  // An outcome no write can produce yields zero rf maps; the prepared
+  // test must answer false, as the seed path does.
+  const auto t = litmus::store_buffering();
+  core::Outcome impossible;
+  impossible.require(1, 42);
+  const PreparedTest prep(t.program(), impossible);
+  EXPECT_TRUE(prep.rf_maps().empty());
+  EXPECT_FALSE(prep.allowed(models::sc(), Engine::Explicit));
+  EXPECT_FALSE(prep.allowed(models::sc(), Engine::Sat));
+}
+
+}  // namespace
+}  // namespace mcmc
