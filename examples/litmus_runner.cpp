@@ -3,6 +3,7 @@
 //   $ ./litmus_runner                       # run the built-in catalog
 //   $ ./litmus_runner tests.lit             # run a corpus from a file
 //   $ ./litmus_runner -                     # read tests from stdin
+//   $ ./litmus_runner --exhaustive 40       # first 40 naive-space tests
 //   $ ./litmus_runner --explain tests.lit   # also explain forbidden ones
 //   $ ./litmus_runner --stats tests.lit     # engine statistics on stderr
 //
@@ -17,6 +18,7 @@
 // deduplicated); witness linearizations are then recovered only for the
 // allowed cells.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -25,6 +27,7 @@
 #include "core/checker.h"
 #include "core/explain.h"
 #include "engine/verdict_engine.h"
+#include "enumeration/exhaustive.h"
 #include "litmus/catalog.h"
 #include "litmus/parser.h"
 #include "models/zoo.h"
@@ -83,6 +86,7 @@ int main(int argc, char** argv) {
   using namespace mcmc;
   bool explain = false;
   bool stats = false;
+  long exhaustive = 0;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -90,13 +94,32 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--exhaustive" && i + 1 < argc) {
+      exhaustive = std::strtol(argv[++i], nullptr, 10);
+      if (exhaustive <= 0) {
+        std::fprintf(stderr, "--exhaustive takes a positive test count\n");
+        return 2;
+      }
     } else {
       inputs.push_back(arg);
     }
   }
   try {
     std::vector<litmus::LitmusTest> tests;
-    if (inputs.empty()) {
+    if (exhaustive > 0) {
+      // A slice of the naive-space enumeration, pulled chunk by chunk.
+      enumeration::ExhaustiveStream stream(enumeration::ExhaustiveOptions{});
+      std::vector<litmus::LitmusTest> chunk;
+      bool more = true;
+      while (more && static_cast<long>(tests.size()) < exhaustive) {
+        chunk.clear();
+        more = stream.next_chunk(chunk);
+        for (auto& t : chunk) {
+          if (static_cast<long>(tests.size()) == exhaustive) break;
+          tests.push_back(std::move(t));
+        }
+      }
+    } else if (inputs.empty()) {
       tests = litmus::full_catalog();
     } else {
       for (const auto& input : inputs) {

@@ -6,7 +6,10 @@
 namespace mcmc::core {
 
 PreparedTest::PreparedTest(const Program& program, Outcome outcome)
-    : analysis_(program), outcome_(std::move(outcome)) {
+    : PreparedTest(Analysis(program), std::move(outcome)) {}
+
+PreparedTest::PreparedTest(Analysis analysis, Outcome outcome)
+    : analysis_(std::move(analysis)), outcome_(std::move(outcome)) {
   rf_maps_ = enumerate_read_from(analysis_, outcome_);
   skeletons_.reserve(rf_maps_.size());
   for (const RfMap& rf : rf_maps_) {

@@ -78,6 +78,12 @@ class PreparedTest {
   /// Analysis).
   PreparedTest(const Program& program, Outcome outcome);
 
+  /// Adopts an already-built analysis instead of re-analyzing (the
+  /// batched engine computes cache keys from bare analyses first and
+  /// only prepares the tests that miss).  The analyzed program must
+  /// still outlive the prepared test.
+  PreparedTest(Analysis analysis, Outcome outcome);
+
   [[nodiscard]] const Analysis& analysis() const { return analysis_; }
   [[nodiscard]] const Outcome& outcome() const { return outcome_; }
   /// Rf maps in enumeration order (empty when the outcome is statically

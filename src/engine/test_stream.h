@@ -1,0 +1,67 @@
+// Pull-based litmus-test streams for the VerdictEngine.
+//
+// Corpora that are too large to materialize (the naive bounded
+// enumeration is ~5 million tests) are consumed in fixed-size chunks:
+// the producer implements TestSource, and VerdictEngine::run_stream
+// pulls chunk after chunk, deduplicates across chunks by canonical key,
+// and hands each chunk's verdicts to a sink while keeping peak memory
+// at O(chunk size + unique keys), never O(corpus).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "litmus/test.h"
+
+namespace mcmc::engine {
+
+/// A chunked producer of litmus tests.
+class TestSource {
+ public:
+  virtual ~TestSource() = default;
+
+  /// Appends the next chunk (up to the source's chunk size) to `out`,
+  /// which the caller has cleared.  Returns true while more chunks may
+  /// follow; the final call may both append a partial chunk and return
+  /// false.
+  virtual bool next_chunk(std::vector<litmus::LitmusTest>& out) = 0;
+};
+
+/// Drains `source` to exhaustion, invoking `fn(test)` for every
+/// streamed test.  Encodes the next_chunk contract once: the final
+/// call may both append a partial chunk and return false, so the chunk
+/// must be consumed before the return value ends the loop.
+template <typename Fn>
+void for_each_test(TestSource& source, Fn&& fn) {
+  std::vector<litmus::LitmusTest> chunk;
+  bool more = true;
+  while (more) {
+    chunk.clear();
+    more = source.next_chunk(chunk);
+    for (auto& test : chunk) fn(test);
+  }
+}
+
+/// Adapter presenting an in-memory corpus as a chunked stream (tests
+/// are moved out chunk by chunk).
+class VectorSource final : public TestSource {
+ public:
+  VectorSource(std::vector<litmus::LitmusTest> tests, std::size_t chunk_size)
+      : tests_(std::move(tests)), chunk_size_(chunk_size == 0 ? 1 : chunk_size) {}
+
+  bool next_chunk(std::vector<litmus::LitmusTest>& out) override {
+    const std::size_t end =
+        next_ + chunk_size_ < tests_.size() ? next_ + chunk_size_
+                                            : tests_.size();
+    for (; next_ < end; ++next_) out.push_back(std::move(tests_[next_]));
+    return next_ < tests_.size();
+  }
+
+ private:
+  std::vector<litmus::LitmusTest> tests_;
+  std::size_t next_ = 0;
+  std::size_t chunk_size_;
+};
+
+}  // namespace mcmc::engine

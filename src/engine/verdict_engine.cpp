@@ -120,7 +120,17 @@ std::vector<char> VerdictEngine::run_batch(
     const std::vector<core::MemoryModel>& models,
     const std::vector<litmus::LitmusTest>& tests,
     const std::vector<VerdictRequest>& requests) {
+  return run_batch_impl(models, tests, requests, /*persist_verdicts=*/true);
+}
+
+std::vector<char> VerdictEngine::run_batch_impl(
+    const std::vector<core::MemoryModel>& models,
+    const std::vector<litmus::LitmusTest>& tests,
+    const std::vector<VerdictRequest>& requests, bool persist_verdicts,
+    bool use_cache,
+    std::vector<std::unique_ptr<core::Analysis>>* premade_analyses) {
   util::Timer timer;
+  const bool cache_enabled = options_.cache_enabled && use_cache;
   EngineStats stats;
   stats.cells = requests.size();
   std::vector<char> results(requests.size(), 0);
@@ -169,7 +179,7 @@ std::vector<char> VerdictEngine::run_batch(
       std::ostringstream os;
       os << "P:" << formula.identity();
       mk.key = os.str();
-      if (options_.cache_enabled) {
+      if (cache_enabled) {
         // Pin the node so its address (= the cache key) cannot be
         // recycled by a different custom formula while this engine's
         // cached verdicts reference it.
@@ -188,45 +198,41 @@ std::vector<char> VerdictEngine::run_batch(
     }
   }
 
-  const bool need_canonical = options_.cache_enabled && any_canonical;
-  const bool need_structural = options_.cache_enabled && any_structural;
+  const bool need_canonical = cache_enabled && any_canonical;
+  const bool need_structural = cache_enabled && any_structural;
 
   // ---- Per-test shared state (built once, shared across models and
-  // worker threads) and test keys.  The prepared path hoists the rf
-  // enumeration and per-rf HbProblem skeletons out of the cell loop as
-  // well; the PR-1 path keeps bare analyses. ----
+  // worker threads) and test keys.  Only the bare Analysis is built
+  // here — enough for the cache keys; the expensive prepared state (rf
+  // enumeration + HbProblem skeletons) is deferred until the cache has
+  // spoken, so cache-hit tests never pay for it. ----
   std::vector<std::unique_ptr<core::PreparedTest>> prepared(tests.size());
   std::vector<std::unique_ptr<core::Analysis>> analyses(tests.size());
   std::vector<std::string> canonical_keys(tests.size());
   std::vector<std::string> structural_keys(tests.size());
-  const auto build_one = [&](std::size_t k) {
+  const auto analyze_one = [&](std::size_t k) {
     const int t = used_tests[k];
     const auto& test = tests[static_cast<std::size_t>(t)];
-    const core::Analysis* an = nullptr;
-    if (options_.prepared) {
-      auto prep =
-          std::make_unique<core::PreparedTest>(test.program(), test.outcome());
-      an = &prep->analysis();
-      prepared[static_cast<std::size_t>(t)] = std::move(prep);
-    } else {
-      auto built = std::make_unique<core::Analysis>(test.program());
-      an = built.get();
-      analyses[static_cast<std::size_t>(t)] = std::move(built);
-    }
+    auto built =
+        (premade_analyses != nullptr &&
+         (*premade_analyses)[static_cast<std::size_t>(t)] != nullptr)
+            ? std::move((*premade_analyses)[static_cast<std::size_t>(t)])
+            : std::make_unique<core::Analysis>(test.program());
     if (need_canonical) {
       canonical_keys[static_cast<std::size_t>(t)] =
-          litmus::canonical_key(*an, test.outcome());
+          litmus::canonical_key(*built, test.outcome());
     }
     if (need_structural) {
       structural_keys[static_cast<std::size_t>(t)] = litmus::structural_key(test);
     }
+    analyses[static_cast<std::size_t>(t)] = std::move(built);
   };
   stats.unique_analyses = used_tests.size();
   const int threads = effective_threads();
   if (threads > 1 && used_tests.size() > 1) {
-    pool().parallel_for(used_tests.size(), build_one);
+    pool().parallel_for(used_tests.size(), analyze_one);
   } else {
-    for (std::size_t k = 0; k < used_tests.size(); ++k) build_one(k);
+    for (std::size_t k = 0; k < used_tests.size(); ++k) analyze_one(k);
   }
 
   // ---- Intern keys into dense class ids so the per-cell grouping cost
@@ -239,7 +245,7 @@ std::vector<char> VerdictEngine::run_batch(
   std::vector<int> structural_class(tests.size(), -1);
   std::vector<const std::string*> model_class_key;
   std::vector<const std::string*> test_class_key;
-  if (options_.cache_enabled) {
+  if (cache_enabled) {
     std::unordered_map<std::string, int> model_interner;
     std::unordered_map<std::string, int> test_interner;
     const auto intern_test = [&](const std::string& key) {
@@ -282,7 +288,7 @@ std::vector<char> VerdictEngine::run_batch(
   };
   std::vector<Job> jobs;       // from_cache groups stay here too
   std::size_t live_jobs = 0;   // groups that actually need evaluation
-  if (options_.cache_enabled) {
+  if (cache_enabled) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     // Per model class, its persistent-cache bucket (looked up once).
     std::vector<const std::unordered_map<std::string, bool>*> buckets(
@@ -360,6 +366,32 @@ std::vector<char> VerdictEngine::run_batch(
     if (!jobs[j].from_cache) pending.push_back(j);
   }
 
+  // ---- Prepare only the tests that still need a real check, adopting
+  // the phase-one analyses instead of re-analyzing.  On cache-heavy
+  // streams this skips the rf enumeration and skeleton construction for
+  // every deduplicated test. ----
+  if (options_.prepared && !pending.empty()) {
+    std::vector<char> needs_prepare(tests.size(), 0);
+    for (const auto j : pending) {
+      needs_prepare[static_cast<std::size_t>(jobs[j].test)] = 1;
+    }
+    std::vector<int> to_prepare;
+    for (const int t : used_tests) {
+      if (needs_prepare[static_cast<std::size_t>(t)]) to_prepare.push_back(t);
+    }
+    const auto prepare_one = [&](std::size_t k) {
+      const auto t = static_cast<std::size_t>(to_prepare[k]);
+      prepared[t] = std::make_unique<core::PreparedTest>(
+          std::move(*analyses[t]), tests[t].outcome());
+      analyses[t].reset();
+    };
+    if (threads > 1 && to_prepare.size() > 1) {
+      pool().parallel_for(to_prepare.size(), prepare_one);
+    } else {
+      for (std::size_t k = 0; k < to_prepare.size(); ++k) prepare_one(k);
+    }
+  }
+
   // ---- Evaluate the deduplicated jobs across the pool.  The prepared
   // tests are immutable after construction, so worker threads share
   // them without synchronization. ----
@@ -429,7 +461,7 @@ std::vector<char> VerdictEngine::run_batch(
   }
 
   // ---- Publish results and feed the persistent cache. ----
-  if (options_.cache_enabled) {
+  if (cache_enabled && persist_verdicts) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     for (const auto j : pending) {
       const auto& job = jobs[j];
@@ -451,6 +483,13 @@ std::vector<char> VerdictEngine::run_batch(
 BitMatrix VerdictEngine::run_matrix(
     const std::vector<core::MemoryModel>& models,
     const std::vector<litmus::LitmusTest>& tests) {
+  return run_matrix_impl(models, tests, /*persist_verdicts=*/true);
+}
+
+BitMatrix VerdictEngine::run_matrix_impl(
+    const std::vector<core::MemoryModel>& models,
+    const std::vector<litmus::LitmusTest>& tests, bool persist_verdicts,
+    bool use_cache) {
   const int num_models = static_cast<int>(models.size());
   const int num_tests = static_cast<int>(tests.size());
   std::vector<VerdictRequest> requests;
@@ -459,7 +498,8 @@ BitMatrix VerdictEngine::run_matrix(
   for (int m = 0; m < num_models; ++m) {
     for (int t = 0; t < num_tests; ++t) requests.push_back({m, t});
   }
-  const auto verdicts = run_batch(models, tests, requests);
+  const auto verdicts =
+      run_batch_impl(models, tests, requests, persist_verdicts, use_cache);
 
   BitMatrix matrix(num_models, num_tests);
   std::size_t i = 0;
@@ -469,6 +509,129 @@ BitMatrix VerdictEngine::run_matrix(
     }
   }
   return matrix;
+}
+
+double StreamStats::dedup_rate() const {
+  return tests_streamed == 0
+             ? 0.0
+             : static_cast<double>(duplicate_tests) /
+                   static_cast<double>(tests_streamed);
+}
+
+std::string StreamStats::to_string() const {
+  std::ostringstream os;
+  os << "chunks=" << chunks << " streamed=" << tests_streamed
+     << " novel=" << novel_tests << " duplicates=" << duplicate_tests
+     << " (dedup " << static_cast<int>(100.0 * dedup_rate() + 0.5)
+     << "%) wall=" << wall_seconds << "s [" << engine.to_string() << "]";
+  return os.str();
+}
+
+StreamStats VerdictEngine::run_stream(
+    const std::vector<core::MemoryModel>& models, TestSource& source,
+    const StreamChunkSink& on_chunk, const StreamOptions& stream_options) {
+  util::Timer timer;
+  StreamStats total;
+
+  // Canonical keys are only sound for models built from the built-in
+  // predicates; one custom-predicate model (or a caller that re-uses
+  // the novel tests against custom models), or an engine configured
+  // for structural-only dedup (EngineOptions::canonical_dedup off),
+  // forces structural keys for the whole stream filter.
+  bool structural_filter =
+      stream_options.force_structural_keys || !options_.canonical_dedup;
+  for (const auto& model : models) {
+    structural_filter = structural_filter || model.formula().has_custom();
+  }
+
+  const int num_models = static_cast<int>(models.size());
+  std::unordered_set<std::string> seen;
+  std::vector<litmus::LitmusTest> chunk;
+  std::vector<litmus::LitmusTest> novel;
+  bool more = true;
+  while (more) {
+    chunk.clear();
+    more = source.next_chunk(chunk);
+    if (chunk.empty()) continue;
+
+    StreamChunkStats cs;
+    cs.index = total.chunks;
+    cs.streamed = chunk.size();
+
+    // ---- Cross-chunk dedup.  The canonical filter builds each test's
+    // Analysis for its key and hands it to the batch below, so a novel
+    // test is analyzed exactly once per stream. ----
+    std::vector<std::unique_ptr<core::Analysis>> analyses(chunk.size());
+    std::vector<int> novel_idx;
+    if (stream_options.dedup_across_chunks) {
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        std::string key;
+        if (structural_filter) {
+          key = litmus::structural_key(chunk[i]);
+        } else {
+          analyses[i] = std::make_unique<core::Analysis>(chunk[i].program());
+          key = litmus::canonical_key(*analyses[i], chunk[i].outcome());
+        }
+        if (seen.insert(std::move(key)).second) {
+          novel_idx.push_back(static_cast<int>(i));
+        } else {
+          analyses[i].reset();
+          ++cs.duplicates;
+        }
+      }
+    } else {
+      novel_idx.resize(chunk.size());
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        novel_idx[i] = static_cast<int>(i);
+      }
+    }
+    cs.novel = novel_idx.size();
+
+    // ---- Evaluate the chunk's novel tests in place (no moves yet:
+    // the analyses point into `chunk`'s programs). ----
+    BitMatrix verdicts(num_models, static_cast<int>(novel_idx.size()));
+    if (!novel_idx.empty()) {
+      std::vector<VerdictRequest> requests;
+      requests.reserve(static_cast<std::size_t>(num_models) * novel_idx.size());
+      for (int m = 0; m < num_models; ++m) {
+        for (const int t : novel_idx) requests.push_back({m, t});
+      }
+      // When the stream filter deduped by canonical keys, the novel
+      // tests are canonically unique: no within-batch group could ever
+      // merge, so skip the batch cache layer instead of re-deriving
+      // every canonical key it would intern.  (A structural filter
+      // leaves canonical within-batch sharing worthwhile.)
+      const bool batch_cache =
+          !stream_options.dedup_across_chunks || structural_filter;
+      const auto flat =
+          run_batch_impl(models, chunk, requests,
+                         stream_options.persist_verdicts, batch_cache,
+                         &analyses);
+      std::size_t slot = 0;
+      for (int m = 0; m < num_models; ++m) {
+        for (std::size_t k = 0; k < novel_idx.size(); ++k, ++slot) {
+          if (flat[slot]) verdicts.set(m, static_cast<int>(k), true);
+        }
+      }
+      cs.engine = last_stats_;
+    }
+
+    // ---- Deliver: the novel tests move out of the chunk only after
+    // the batch (and every Analysis into them) is done. ----
+    novel.clear();
+    for (const int t : novel_idx) {
+      novel.push_back(std::move(chunk[static_cast<std::size_t>(t)]));
+    }
+
+    ++total.chunks;
+    total.tests_streamed += cs.streamed;
+    total.novel_tests += cs.novel;
+    total.duplicate_tests += cs.duplicates;
+    total.engine += cs.engine;
+    if (on_chunk) on_chunk(novel, verdicts, cs);
+  }
+  total.wall_seconds = timer.seconds();
+  return total;
 }
 
 bool VerdictEngine::allowed(const core::MemoryModel& model,

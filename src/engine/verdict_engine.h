@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,6 +40,7 @@
 #include "core/model.h"
 #include "core/prepared.h"
 #include "engine/bit_matrix.h"
+#include "engine/test_stream.h"
 #include "engine/thread_pool.h"
 #include "litmus/test.h"
 
@@ -117,6 +119,59 @@ struct EngineStats {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Options for a streaming run (see VerdictEngine::run_stream).
+struct StreamOptions {
+  /// Skip tests whose dedup key was already seen earlier in the stream
+  /// (canonical keys, or structural keys when any model's formula has
+  /// custom predicates).  Duplicates are counted, not re-evaluated or
+  /// re-delivered: a duplicate's verdicts equal its first
+  /// occurrence's, so downstream aggregation loses nothing.
+  bool dedup_across_chunks = true;
+  /// Force structural dedup keys even when every streamed model is
+  /// custom-free.  Callers that reuse the delivered verdicts beyond the
+  /// streamed models (e.g. the extremes-prefiltered Theorem harness,
+  /// which sweeps a different model set over the novel tests) must set
+  /// this when any of *those* models carries custom predicates —
+  /// canonical sharing is unsound for them.
+  bool force_structural_keys = false;
+  /// Feed the novel verdicts into the engine's persistent verdict
+  /// cache.  Off by default: a million-test stream against 90 models
+  /// would pin |models| x |unique tests| cache entries, while the
+  /// seen-key filter above already provides cross-chunk sharing at
+  /// O(unique tests) memory.
+  bool persist_verdicts = false;
+};
+
+/// Accounting for one streamed chunk.
+struct StreamChunkStats {
+  std::size_t index = 0;      ///< 0-based chunk number
+  std::size_t streamed = 0;   ///< tests pulled from the source
+  std::size_t novel = 0;      ///< first-of-their-class tests evaluated
+  std::size_t duplicates = 0; ///< cross-chunk dedup hits
+  EngineStats engine;         ///< engine stats of this chunk's batch
+};
+
+/// Accounting for a whole streamed run.
+struct StreamStats {
+  std::size_t chunks = 0;
+  std::size_t tests_streamed = 0;
+  std::size_t novel_tests = 0;
+  std::size_t duplicate_tests = 0;  ///< cross-chunk dedup hits
+  EngineStats engine;               ///< accumulated over chunk batches
+  double wall_seconds = 0.0;
+
+  /// Fraction of streamed tests served by the cross-chunk dedup.
+  [[nodiscard]] double dedup_rate() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Per-chunk delivery: the chunk's novel tests, their models x tests
+/// verdict matrix, and the chunk accounting.  Duplicate tests are not
+/// re-delivered (their verdicts equal an earlier chunk's).
+using StreamChunkSink = std::function<void(
+    const std::vector<litmus::LitmusTest>& novel_tests,
+    const BitMatrix& verdicts, const StreamChunkStats& stats)>;
+
 /// Batched, parallel, cached (model, test) verdict evaluation.
 class VerdictEngine {
  public:
@@ -143,6 +198,17 @@ class VerdictEngine {
   [[nodiscard]] bool allowed(const core::MemoryModel& model,
                              const litmus::LitmusTest& test);
 
+  /// Streaming evaluation: pulls chunks from `source` until exhausted,
+  /// evaluates the `models` x chunk product for each, and invokes
+  /// `on_chunk` (may be null) after every chunk.  With
+  /// StreamOptions::dedup_across_chunks (the default), tests whose
+  /// canonical key appeared in an earlier chunk are counted as
+  /// duplicates and skipped — the peak resident set stays
+  /// O(chunk size + unique keys) no matter how long the stream runs.
+  StreamStats run_stream(const std::vector<core::MemoryModel>& models,
+                         TestSource& source, const StreamChunkSink& on_chunk,
+                         const StreamOptions& stream_options = {});
+
   /// Stats of the most recent batch.
   [[nodiscard]] const EngineStats& last_stats() const { return last_stats_; }
   /// Stats accumulated over the engine's lifetime.
@@ -159,6 +225,27 @@ class VerdictEngine {
  private:
   [[nodiscard]] core::Engine resolve_backend(int num_events) const;
   WorkStealingPool& pool();
+  /// run_batch with control over the cache layer.  `persist_verdicts`
+  /// gates the persistent-cache writes; `use_cache` false skips key
+  /// computation, interning, and lookups entirely — the streaming path
+  /// passes it for batches whose tests its canonical seen-key filter
+  /// already proved unique (no within-batch group could ever merge, so
+  /// re-deriving canonical keys would be pure overhead).
+  /// `premade_analyses`, when given, is aligned with `tests`; entries
+  /// present are adopted (moved from) instead of re-analyzing — the
+  /// streaming dedup filter hands over the analyses it built for key
+  /// computation.
+  [[nodiscard]] std::vector<char> run_batch_impl(
+      const std::vector<core::MemoryModel>& models,
+      const std::vector<litmus::LitmusTest>& tests,
+      const std::vector<VerdictRequest>& requests, bool persist_verdicts,
+      bool use_cache = true,
+      std::vector<std::unique_ptr<core::Analysis>>* premade_analyses =
+          nullptr);
+  [[nodiscard]] BitMatrix run_matrix_impl(
+      const std::vector<core::MemoryModel>& models,
+      const std::vector<litmus::LitmusTest>& tests, bool persist_verdicts,
+      bool use_cache = true);
 
   EngineOptions options_;
   std::unique_ptr<WorkStealingPool> pool_;  // created on first parallel batch

@@ -1,0 +1,134 @@
+#include "enumeration/exhaustive.h"
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "core/analysis.h"
+#include "util/check.h"
+
+namespace mcmc::enumeration {
+
+ExhaustiveStream::ExhaustiveStream(ExhaustiveOptions options)
+    : options_(options), shapes_(shapes::all_thread_shapes(options.bounds)) {
+  MCMC_REQUIRE(options_.chunk_size > 0);
+}
+
+bool ExhaustiveStream::done() const { return exhausted_; }
+
+bool ExhaustiveStream::start_next_program() {
+  const std::size_t n = shapes_.size();
+  while (i_ < n) {
+    const std::size_t a = i_;
+    const std::size_t b = j_;
+    // Advance the pair cursor before filtering so a rejected pair is
+    // never revisited.
+    if (++j_ == n) {
+      j_ = 0;
+      ++i_;
+    }
+    if (options_.communicating_only &&
+        !shapes::communicates(shapes_[a], shapes_[b])) {
+      continue;
+    }
+    ++program_index_;
+    ++emitted_.programs;
+
+    // ---- Materialize the program and its read odometer. ----
+    std::map<int, int> values;
+    core::Reg next_reg = 0;
+    std::vector<core::Thread> threads;
+    threads.push_back(shapes::materialize(shapes_[a], values, next_reg));
+    threads.push_back(shapes::materialize(shapes_[b], values, next_reg));
+    program_ = core::Program(std::move(threads));
+
+    read_regs_.clear();
+    read_domain_.clear();
+    for (const auto& thread : program_.threads()) {
+      for (const auto& instr : thread) {
+        if (instr.op != core::Op::Read) continue;
+        read_regs_.push_back(instr.dst);
+        const auto written = values.find(instr.loc);
+        read_domain_.push_back(1 +
+                               (written == values.end() ? 0 : written->second));
+      }
+    }
+    odometer_.assign(read_regs_.size(), 0);
+    outcome_index_ = 0;
+    odometer_live_ = true;
+
+    if (options_.track_program_classes) {
+      const core::Analysis analysis(program_);
+      program_classes_.insert(litmus::canonical_key(analysis, core::Outcome{}));
+    }
+    return true;
+  }
+  return false;
+}
+
+bool ExhaustiveStream::next_chunk(std::vector<litmus::LitmusTest>& out) {
+  if (exhausted_) return false;
+  const std::size_t target =
+      out.size() + static_cast<std::size_t>(options_.chunk_size);
+  while (out.size() < target) {
+    if (!odometer_live_ && !start_next_program()) {
+      exhausted_ = true;
+      return false;
+    }
+
+    core::Outcome outcome;
+    for (std::size_t k = 0; k < read_regs_.size(); ++k) {
+      outcome.require(read_regs_[k], odometer_[k]);
+    }
+    out.emplace_back("x" + std::to_string(program_index_) + "." +
+                         std::to_string(outcome_index_),
+                     program_, std::move(outcome));
+    ++emitted_.tests;
+    ++outcome_index_;
+
+    // Advance the odometer; carrying past the last read ends the
+    // program (a read-free program emits exactly its one empty-outcome
+    // test).
+    std::size_t k = 0;
+    for (; k < odometer_.size(); ++k) {
+      if (++odometer_[k] < read_domain_[k]) break;
+      odometer_[k] = 0;
+    }
+    if (k == odometer_.size()) odometer_live_ = false;
+  }
+  return true;
+}
+
+ExhaustiveCounts ExhaustiveStream::count(const ExhaustiveOptions& options) {
+  const auto shapes = shapes::all_thread_shapes(options.bounds);
+  ExhaustiveCounts counts;
+  for (const auto& a : shapes) {
+    for (const auto& b : shapes) {
+      if (options.communicating_only && !shapes::communicates(a, b)) continue;
+      ++counts.programs;
+      counts.tests +=
+          shapes::outcome_count(a, b, options.bounds.num_locations);
+    }
+  }
+  return counts;
+}
+
+ReductionCounts measure_reduction(const ExhaustiveOptions& options) {
+  ExhaustiveOptions tracked = options;
+  tracked.track_program_classes = true;
+  ExhaustiveStream stream(tracked);
+
+  std::unordered_set<std::string> test_classes;
+  engine::for_each_test(stream, [&](const litmus::LitmusTest& test) {
+    test_classes.insert(litmus::canonical_key(test));
+  });
+
+  ReductionCounts counts;
+  counts.programs = stream.emitted().programs;
+  counts.tests = stream.emitted().tests;
+  counts.canonical_programs = stream.canonical_programs();
+  counts.canonical_tests = static_cast<long long>(test_classes.size());
+  return counts;
+}
+
+}  // namespace mcmc::enumeration

@@ -1,138 +1,42 @@
 #include "enumeration/naive.h"
 
-#include <algorithm>
 #include <map>
 #include <string>
 #include <unordered_set>
 
+#include "enumeration/exhaustive.h"
+#include "enumeration/shapes.h"
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace mcmc::enumeration {
 
-namespace {
-
-/// One access slot in a thread shape.
-struct Access {
-  bool is_read = false;
-  int loc = 0;
-  bool fence_before = false;  // meaningful for slots after the first
-};
-
-using ThreadShape = std::vector<Access>;
-
-/// Enumerates every thread shape within the bounds.
-std::vector<ThreadShape> all_thread_shapes(const NaiveOptions& o) {
-  std::vector<ThreadShape> out;
-  ThreadShape current;
-  // Depth-first over slots.
-  const int fence_options = o.fences ? 2 : 1;
-  auto rec = [&](auto&& self, int depth) -> void {
-    if (!current.empty()) out.push_back(current);
-    if (depth == o.max_accesses_per_thread) return;
-    for (int fence = 0; fence < (current.empty() ? 1 : fence_options);
-         ++fence) {
-      for (const bool is_read : {false, true}) {
-        for (int loc = 0; loc < o.num_locations; ++loc) {
-          current.push_back({is_read, loc, fence != 0});
-          self(self, depth + 1);
-          current.pop_back();
-        }
-      }
-    }
-  };
-  rec(rec, 0);
-  return out;
-}
-
-/// Encodes a shape for canonicalization under a location permutation.
-std::string encode(const ThreadShape& t, const std::vector<int>& loc_perm) {
-  std::string s;
-  for (const auto& a : t) {
-    if (a.fence_before) s += 'f';
-    s += a.is_read ? 'R' : 'W';
-    s += static_cast<char>('0' + loc_perm[static_cast<std::size_t>(a.loc)]);
-  }
-  return s;
-}
-
-/// Number of outcome assignments: each read observes one of
-/// {initial} + {every write to its location}.
-long long outcome_count(const ThreadShape& a, const ThreadShape& b,
-                        int num_locations) {
-  std::vector<int> writes(static_cast<std::size_t>(num_locations), 0);
-  for (const auto* t : {&a, &b}) {
-    for (const auto& acc : *t) {
-      if (!acc.is_read) ++writes[static_cast<std::size_t>(acc.loc)];
-    }
-  }
-  long long count = 1;
-  for (const auto* t : {&a, &b}) {
-    for (const auto& acc : *t) {
-      if (acc.is_read) count *= 1 + writes[static_cast<std::size_t>(acc.loc)];
-    }
-  }
-  return count;
-}
-
-/// True if some location is written by one thread and accessed by the
-/// other (without this, the threads cannot observe each other at all).
-bool communicates(const ThreadShape& a, const ThreadShape& b) {
-  for (const auto& wa : a) {
-    if (wa.is_read) continue;
-    for (const auto& xb : b) {
-      if (xb.loc == wa.loc) return true;
-    }
-  }
-  for (const auto& wb : b) {
-    if (wb.is_read) continue;
-    for (const auto& xa : a) {
-      if (xa.loc == wb.loc) return true;
-    }
-  }
-  return false;
-}
-
-std::vector<std::vector<int>> location_permutations(int n) {
-  std::vector<int> perm(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
-  std::vector<std::vector<int>> out;
-  do {
-    out.push_back(perm);
-  } while (std::next_permutation(perm.begin(), perm.end()));
-  return out;
-}
-
-core::Thread materialize(const ThreadShape& shape, std::map<int, int>& values,
-                         core::Reg& next_reg) {
-  core::Thread t;
-  for (const auto& a : shape) {
-    if (a.fence_before) t.push_back(core::make_fence());
-    if (a.is_read) {
-      t.push_back(core::make_read(a.loc, next_reg++));
-    } else {
-      t.push_back(core::make_write(a.loc, ++values[a.loc]));
-    }
-  }
-  return t;
-}
-
-}  // namespace
-
 NaiveCounts count_naive(const NaiveOptions& options) {
   NaiveCounts counts;
-  const auto shapes = all_thread_shapes(options);
-  const auto perms = location_permutations(options.num_locations);
+
+  // Full-space totals come from the streaming enumerator's counting
+  // walk, so they agree with what ExhaustiveStream materializes by
+  // construction.
+  ExhaustiveOptions full;
+  full.bounds = options;
+  const ExhaustiveCounts space = ExhaustiveStream::count(full);
+  counts.programs = space.programs;
+  counts.tests = space.tests;
+
+  // Shape-level reduction (the CAV'10-style baseline): canonicalize
+  // communicating programs under location permutation and thread
+  // exchange.  This deliberately stops short of the engine's canonical
+  // keys — reduced_tests counts every outcome assignment of each
+  // canonical program, without merging outcomes that are images of each
+  // other under a program automorphism (measure_reduction in
+  // exhaustive.h reports that stronger reduction).
+  const auto shapes = shapes::all_thread_shapes(options);
+  const auto perms = shapes::location_permutations(options.num_locations);
   std::unordered_set<std::string> canonical;
 
   for (std::size_t i = 0; i < shapes.size(); ++i) {
     for (std::size_t j = 0; j < shapes.size(); ++j) {
-      ++counts.programs;
-      const long long outcomes =
-          outcome_count(shapes[i], shapes[j], options.num_locations);
-      counts.tests += outcomes;
-
-      if (!communicates(shapes[i], shapes[j])) continue;
+      if (!shapes::communicates(shapes[i], shapes[j])) continue;
       // Canonical form: smallest encoding over location permutations and
       // thread exchange.
       std::string best;
@@ -140,13 +44,15 @@ NaiveCounts count_naive(const NaiveOptions& options) {
         for (const bool swap : {false, true}) {
           const auto& first = swap ? shapes[j] : shapes[i];
           const auto& second = swap ? shapes[i] : shapes[j];
-          std::string key = encode(first, perm) + "|" + encode(second, perm);
+          std::string key = shapes::encode(first, perm) + "|" +
+                            shapes::encode(second, perm);
           if (best.empty() || key < best) best = std::move(key);
         }
       }
       if (canonical.insert(best).second) {
         ++counts.reduced_programs;
-        counts.reduced_tests += outcomes;
+        counts.reduced_tests +=
+            shapes::outcome_count(shapes[i], shapes[j], options.num_locations);
       }
     }
   }
@@ -156,7 +62,7 @@ NaiveCounts count_naive(const NaiveOptions& options) {
 std::vector<litmus::LitmusTest> sample_naive_tests(const NaiveOptions& options,
                                                    int count,
                                                    std::uint64_t seed) {
-  const auto shapes = all_thread_shapes(options);
+  const auto shapes = shapes::all_thread_shapes(options);
   util::Rng rng(seed);
   std::vector<litmus::LitmusTest> out;
   out.reserve(static_cast<std::size_t>(count));
@@ -166,8 +72,8 @@ std::vector<litmus::LitmusTest> sample_naive_tests(const NaiveOptions& options,
     std::map<int, int> values;
     core::Reg next_reg = 0;
     core::Program p;
-    p.add_thread(materialize(a, values, next_reg));
-    p.add_thread(materialize(b, values, next_reg));
+    p.add_thread(shapes::materialize(a, values, next_reg));
+    p.add_thread(shapes::materialize(b, values, next_reg));
     // Sample an outcome: each read gets the initial value or any value
     // written to its location.
     core::Outcome outcome;

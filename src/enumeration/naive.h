@@ -14,6 +14,10 @@
 // read outcome.  The reduced variant canonicalizes programs under address
 // permutation and thread exchange and keeps only programs where the
 // threads communicate.
+//
+// The counting here shares its generator core (shapes.h) with the
+// streaming materializer (exhaustive.h), which additionally measures the
+// stronger canonical-key reduction used by the VerdictEngine's cache.
 #pragma once
 
 #include <cstdint>

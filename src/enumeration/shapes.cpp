@@ -1,0 +1,99 @@
+#include "enumeration/shapes.h"
+
+#include <algorithm>
+
+#include "core/instruction.h"
+
+namespace mcmc::enumeration::shapes {
+
+std::vector<ThreadShape> all_thread_shapes(const NaiveOptions& o) {
+  std::vector<ThreadShape> out;
+  ThreadShape current;
+  // Depth-first over slots.
+  const int fence_options = o.fences ? 2 : 1;
+  auto rec = [&](auto&& self, int depth) -> void {
+    if (!current.empty()) out.push_back(current);
+    if (depth == o.max_accesses_per_thread) return;
+    for (int fence = 0; fence < (current.empty() ? 1 : fence_options);
+         ++fence) {
+      for (const bool is_read : {false, true}) {
+        for (int loc = 0; loc < o.num_locations; ++loc) {
+          current.push_back({is_read, loc, fence != 0});
+          self(self, depth + 1);
+          current.pop_back();
+        }
+      }
+    }
+  };
+  rec(rec, 0);
+  return out;
+}
+
+std::string encode(const ThreadShape& t, const std::vector<int>& loc_perm) {
+  std::string s;
+  for (const auto& a : t) {
+    if (a.fence_before) s += 'f';
+    s += a.is_read ? 'R' : 'W';
+    s += static_cast<char>('0' + loc_perm[static_cast<std::size_t>(a.loc)]);
+  }
+  return s;
+}
+
+long long outcome_count(const ThreadShape& a, const ThreadShape& b,
+                        int num_locations) {
+  std::vector<int> writes(static_cast<std::size_t>(num_locations), 0);
+  for (const auto* t : {&a, &b}) {
+    for (const auto& acc : *t) {
+      if (!acc.is_read) ++writes[static_cast<std::size_t>(acc.loc)];
+    }
+  }
+  long long count = 1;
+  for (const auto* t : {&a, &b}) {
+    for (const auto& acc : *t) {
+      if (acc.is_read) count *= 1 + writes[static_cast<std::size_t>(acc.loc)];
+    }
+  }
+  return count;
+}
+
+bool communicates(const ThreadShape& a, const ThreadShape& b) {
+  for (const auto& wa : a) {
+    if (wa.is_read) continue;
+    for (const auto& xb : b) {
+      if (xb.loc == wa.loc) return true;
+    }
+  }
+  for (const auto& wb : b) {
+    if (wb.is_read) continue;
+    for (const auto& xa : a) {
+      if (xa.loc == wb.loc) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::vector<int>> location_permutations(int n) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  std::vector<std::vector<int>> out;
+  do {
+    out.push_back(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return out;
+}
+
+core::Thread materialize(const ThreadShape& shape, std::map<int, int>& values,
+                         core::Reg& next_reg) {
+  core::Thread t;
+  for (const auto& a : shape) {
+    if (a.fence_before) t.push_back(core::make_fence());
+    if (a.is_read) {
+      t.push_back(core::make_read(a.loc, next_reg++));
+    } else {
+      t.push_back(core::make_write(a.loc, ++values[a.loc]));
+    }
+  }
+  return t;
+}
+
+}  // namespace mcmc::enumeration::shapes

@@ -1,0 +1,59 @@
+// The shared generator core of the naive bounded space (Section 3.4):
+// thread shapes within the NaiveOptions bounds, outcome counting,
+// communication tests, shape-level canonical encodings, and shape
+// materialization into core::Thread instruction sequences.
+//
+// Both the counting walk (`count_naive`, naive.h) and the streaming
+// materializer (`ExhaustiveStream`, exhaustive.h) consume these one
+// definitions, so the counted space and the materialized space cannot
+// drift apart.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+#include "enumeration/naive.h"
+
+namespace mcmc::enumeration::shapes {
+
+/// One access slot in a thread shape.
+struct Access {
+  bool is_read = false;
+  int loc = 0;
+  bool fence_before = false;  // meaningful for slots after the first
+};
+
+using ThreadShape = std::vector<Access>;
+
+/// Every thread shape within the bounds, in a fixed deterministic order.
+[[nodiscard]] std::vector<ThreadShape> all_thread_shapes(
+    const NaiveOptions& options);
+
+/// Encodes a shape for shape-level canonicalization under a location
+/// permutation (the CAV'10-style reduced baseline).
+[[nodiscard]] std::string encode(const ThreadShape& shape,
+                                 const std::vector<int>& loc_perm);
+
+/// Number of outcome assignments of the two-thread program (a, b): each
+/// read observes one of {initial} + {every write to its location}.
+[[nodiscard]] long long outcome_count(const ThreadShape& a,
+                                      const ThreadShape& b,
+                                      int num_locations);
+
+/// True if some location is written by one thread and accessed by the
+/// other (without this, the threads cannot observe each other at all).
+[[nodiscard]] bool communicates(const ThreadShape& a, const ThreadShape& b);
+
+/// All permutations of {0, ..., n-1} in lexicographic order.
+[[nodiscard]] std::vector<std::vector<int>> location_permutations(int n);
+
+/// Materializes a shape: writes store 1, 2, ... per location (continuing
+/// `values`, which is shared across the program's threads), reads load
+/// into fresh registers from `next_reg`.
+[[nodiscard]] core::Thread materialize(const ThreadShape& shape,
+                                       std::map<int, int>& values,
+                                       core::Reg& next_reg);
+
+}  // namespace mcmc::enumeration::shapes

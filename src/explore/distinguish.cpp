@@ -1,0 +1,212 @@
+#include "explore/distinguish.h"
+
+#include <set>
+
+#include "core/formula.h"
+#include "util/check.h"
+
+namespace mcmc::explore {
+
+namespace {
+
+std::size_t words_for(int num_models) {
+  return (static_cast<std::size_t>(num_models) + 63) / 64;
+}
+
+}  // namespace
+
+DistinguishMatrix::DistinguishMatrix(int num_models)
+    : bits_(num_models, num_models) {}
+
+bool DistinguishMatrix::distinguished(int a, int b) const {
+  MCMC_REQUIRE(a >= 0 && a < num_models() && b >= 0 && b < num_models());
+  return bits_.get(a, b);
+}
+
+long long DistinguishMatrix::distinguished_pairs() const {
+  long long count = 0;
+  for (int a = 0; a < num_models(); ++a) {
+    for (int b = a + 1; b < num_models(); ++b) {
+      if (bits_.get(a, b)) ++count;
+    }
+  }
+  return count;
+}
+
+long long DistinguishMatrix::total_pairs() const {
+  const long long n = num_models();
+  return n * (n - 1) / 2;
+}
+
+void DistinguishMatrix::fold_column(const std::vector<std::uint64_t>& column) {
+  const int n = num_models();
+  MCMC_REQUIRE(column.size() == words_for(n));
+  for (int a = 0; a < n; ++a) {
+    const bool va = (column[static_cast<std::size_t>(a) / 64] >>
+                     (static_cast<std::size_t>(a) % 64)) &
+                    1ULL;
+    for (int b = a + 1; b < n; ++b) {
+      const bool vb = (column[static_cast<std::size_t>(b) / 64] >>
+                       (static_cast<std::size_t>(b) % 64)) &
+                      1ULL;
+      if (va != vb) {
+        bits_.set(a, b, true);
+        bits_.set(b, a, true);
+      }
+    }
+  }
+}
+
+bool DistinguishMatrix::subset_of(const DistinguishMatrix& other) const {
+  MCMC_REQUIRE(num_models() == other.num_models());
+  for (int a = 0; a < num_models(); ++a) {
+    const std::uint64_t* mine = bits_.row(a);
+    const std::uint64_t* theirs = other.bits_.row(a);
+    for (std::size_t w = 0; w < bits_.words_per_row(); ++w) {
+      if ((mine[w] & ~theirs[w]) != 0) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<int, int>> DistinguishMatrix::pairs_beyond(
+    const DistinguishMatrix& other) const {
+  MCMC_REQUIRE(num_models() == other.num_models());
+  std::vector<std::pair<int, int>> out;
+  for (int a = 0; a < num_models(); ++a) {
+    for (int b = a + 1; b < num_models(); ++b) {
+      if (bits_.get(a, b) && !other.bits_.get(a, b)) out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Folds every test column of a models x tests verdict matrix,
+/// deduplicating identical columns across the whole run (only distinct
+/// columns pay the quadratic pair sweep).
+class ColumnFolder {
+ public:
+  ColumnFolder(DistinguishMatrix& matrix, int num_models,
+               std::size_t& columns_counter)
+      : matrix_(matrix),
+        num_models_(num_models),
+        columns_counter_(columns_counter) {}
+
+  void fold(const engine::BitMatrix& verdicts) {
+    MCMC_REQUIRE(verdicts.rows() == num_models_);
+    std::vector<std::uint64_t> column(words_for(num_models_));
+    for (int t = 0; t < verdicts.cols(); ++t) {
+      std::fill(column.begin(), column.end(), 0);
+      for (int m = 0; m < num_models_; ++m) {
+        if (verdicts.get(m, t)) {
+          column[static_cast<std::size_t>(m) / 64] |=
+              1ULL << (static_cast<std::size_t>(m) % 64);
+        }
+      }
+      if (seen_.insert(column).second) {
+        matrix_.fold_column(column);
+        ++columns_counter_;
+      }
+    }
+  }
+
+ private:
+  DistinguishMatrix& matrix_;
+  int num_models_;
+  std::size_t& columns_counter_;
+  std::set<std::vector<std::uint64_t>> seen_;
+};
+
+}  // namespace
+
+DistinguishMatrix distinguishability(
+    engine::VerdictEngine& eng, const std::vector<core::MemoryModel>& models,
+    const std::vector<litmus::LitmusTest>& tests) {
+  const int n = static_cast<int>(models.size());
+  DistinguishMatrix matrix(n);
+  std::size_t columns = 0;
+  ColumnFolder folder(matrix, n, columns);
+  folder.fold(eng.run_matrix(models, tests));
+  return matrix;
+}
+
+DistinguishMatrix distinguishability_streamed(
+    engine::VerdictEngine& eng, const std::vector<core::MemoryModel>& models,
+    engine::TestSource& source, const TheoremHarnessOptions& options,
+    TheoremHarnessReport* report, const ChunkProgress& progress) {
+  const int n = static_cast<int>(models.size());
+  DistinguishMatrix matrix(n);
+  TheoremHarnessReport local;
+  TheoremHarnessReport& rep = report != nullptr ? *report : local;
+  rep = TheoremHarnessReport{};
+  ColumnFolder folder(matrix, n, rep.verdict_columns);
+
+  if (!options.filter_extremes) {
+    rep.stream = eng.run_stream(
+        models, source,
+        [&](const std::vector<litmus::LitmusTest>& novel,
+            const engine::BitMatrix& verdicts,
+            const engine::StreamChunkStats& cs) {
+          if (!novel.empty()) folder.fold(verdicts);
+          if (progress) progress(cs);
+        },
+        options.stream);
+    rep.candidate_tests = rep.stream.novel_tests;
+    return matrix;
+  }
+
+  // Extremes prefilter: the stream itself is evaluated only against the
+  // class extremes; the full model sweep runs on the (few) tests that
+  // are allowed by F = false yet forbidden by F = true — any other test
+  // receives one uniform verdict across the whole class (monotonicity)
+  // and cannot distinguish a pair.
+  const std::vector<core::MemoryModel> extremes = {
+      core::MemoryModel("weakest-class", core::f_false()),
+      core::MemoryModel("strongest-class", core::f_true())};
+
+  // The stream only sees the (custom-free) extremes, but its survivors
+  // are swept with the caller's models: if any of those carries custom
+  // predicates, canonical dedup of the stream would be unsound for the
+  // sweep, so force structural keys.
+  engine::StreamOptions stream_options = options.stream;
+  for (const auto& model : models) {
+    stream_options.force_structural_keys =
+        stream_options.force_structural_keys || model.formula().has_custom();
+  }
+
+  // Candidates are canonically unique already (the stream deduped
+  // them), and the sweep's verdicts are folded immediately, so the
+  // sweep engine runs cache-less: nothing would ever hit, and a
+  // million-test stream must not pin |models| x |tests| entries.
+  engine::EngineOptions sweep_options = eng.options();
+  sweep_options.cache_enabled = false;
+  engine::VerdictEngine sweep(sweep_options);
+
+  std::vector<litmus::LitmusTest> candidates;
+  rep.stream = eng.run_stream(
+      extremes, source,
+      [&](const std::vector<litmus::LitmusTest>& novel,
+          const engine::BitMatrix& verdicts,
+          const engine::StreamChunkStats& cs) {
+        candidates.clear();
+        for (std::size_t i = 0; i < novel.size(); ++i) {
+          const bool weak_allows = verdicts.get(0, static_cast<int>(i));
+          const bool strong_allows = verdicts.get(1, static_cast<int>(i));
+          if (weak_allows && !strong_allows) {
+            candidates.push_back(novel[i]);
+          } else {
+            ++rep.filtered_tests;
+          }
+        }
+        rep.candidate_tests += candidates.size();
+        if (!candidates.empty()) folder.fold(sweep.run_matrix(models, candidates));
+        if (progress) progress(cs);
+      },
+      stream_options);
+  rep.sweep = sweep.total_stats();
+  return matrix;
+}
+
+}  // namespace mcmc::explore

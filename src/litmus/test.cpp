@@ -41,19 +41,41 @@ std::string structural_key(const LitmusTest& test) {
 namespace {
 
 /// Serializes the resolved events with threads taken in `perm` order,
-/// relabeling locations by first appearance.
+/// relabeling locations by first appearance and memory values by first
+/// appearance per location.
+///
+/// Value canonicalization: verdicts see store values only through the
+/// read-from matching "a read constrained to v observes a write of v to
+/// the same location, or the initial value when v == 0".  Any
+/// per-location bijection on the nonzero values (with 0, the initial
+/// value, held fixed) therefore maps admissible executions to admissible
+/// executions, so writes' values and reads' required values are
+/// serialized through a per-location first-appearance relabeling: equal
+/// keys mean the tests differ by exactly such a bijection (composed with
+/// a thread permutation and a location renaming).  DepConst register
+/// constants that reach verdicts directly (an outcome constraint on the
+/// defined register) are *not* memory values and stay raw.
 std::string serialize_permuted(const core::Analysis& an,
                                const core::Outcome& outcome,
                                const std::vector<int>& perm) {
   std::map<core::Loc, int> loc_id;
-  auto canon_loc = [&](core::Loc loc) {
+  auto canon_loc_id = [&](core::Loc loc) {
     const auto [it, _] = loc_id.emplace(loc, static_cast<int>(loc_id.size()));
+    return it->second;
+  };
+  // (canonical location, raw value) -> canonical value; 0 is pinned so
+  // "reads the initial value" stays distinguishable from every write.
+  std::map<std::pair<int, int>, int> value_id;
+  auto canon_value = [&](int loc, int value) -> std::string {
+    if (value == 0) return "0";
+    const auto [it, _] = value_id.emplace(
+        std::make_pair(loc, value), static_cast<int>(value_id.size()) + 1);
     return std::to_string(it->second);
   };
-  auto required = [&](core::Reg reg) -> std::string {
+  auto required = [&](core::Reg reg, int loc) -> std::string {
     if (reg < 0) return "*";
     const auto v = outcome.required(reg);
-    return v ? std::to_string(*v) : "*";
+    return v ? canon_value(loc, *v) : "*";
   };
 
   std::string key;
@@ -64,12 +86,16 @@ std::string serialize_permuted(const core::Analysis& an,
       const auto& ev = an.event(an.event_id(t, i));
       key += ';';
       switch (ev.op) {
-        case core::Op::Read:
-          key += 'R' + canon_loc(ev.loc) + '=' + required(ev.dst);
+        case core::Op::Read: {
+          const int loc = canon_loc_id(ev.loc);
+          key += 'R' + std::to_string(loc) + '=' + required(ev.dst, loc);
           break;
-        case core::Op::Write:
-          key += 'W' + canon_loc(ev.loc) + '<' + std::to_string(ev.value);
+        }
+        case core::Op::Write: {
+          const int loc = canon_loc_id(ev.loc);
+          key += 'W' + std::to_string(loc) + '<' + canon_value(loc, ev.value);
           break;
+        }
         case core::Op::Fence:
           key += 'F';
           break;
@@ -83,7 +109,8 @@ std::string serialize_permuted(const core::Analysis& an,
           // the defined register directly.
           key += 'D';
           if (ev.dst >= 0 && outcome.required(ev.dst)) {
-            key += 'v' + std::to_string(ev.value) + 'q' + required(ev.dst);
+            key += 'v' + std::to_string(ev.value) + 'q' +
+                   std::to_string(*outcome.required(ev.dst));
           }
           break;
       }

@@ -49,15 +49,19 @@ class LitmusTest {
 
 /// Canonical semantic key over the *resolved* event structure: threads
 /// are serialized in the lexicographically least order, locations are
-/// relabeled by first appearance per candidate order, and registers are
-/// erased entirely (they only reach verdicts through the dependency
-/// matrices and outcome constraints, both of which are serialized
-/// directly).  Two tests with equal canonical keys receive the same
-/// verdict from every model whose must-not-reorder formula uses only the
-/// built-in predicates — the atoms (Read/Write/Fence, SameAddr, DataDep,
-/// ControlDep) are invariant under exactly these renamings.  Formulas
-/// with custom predicates may inspect raw thread/location identity, so
-/// callers must fall back to `structural_key` for those models.
+/// relabeled by first appearance per candidate order, store values (and
+/// reads' required values) are relabeled by first appearance per
+/// location with the initial value 0 pinned, and registers are erased
+/// entirely (they only reach verdicts through the dependency matrices
+/// and outcome constraints, both of which are serialized directly).
+/// Two tests with equal canonical keys receive the same verdict from
+/// every model whose must-not-reorder formula uses only the built-in
+/// predicates — the atoms (Read/Write/Fence, SameAddr, DataDep,
+/// ControlDep) are invariant under exactly these renamings, and
+/// read-from matching is preserved by any per-location value bijection
+/// that fixes 0.  Formulas with custom predicates may inspect raw
+/// thread/location/value identity, so callers must fall back to
+/// `structural_key` for those models.
 [[nodiscard]] std::string canonical_key(const core::Analysis& analysis,
                                         const core::Outcome& outcome);
 

@@ -1,0 +1,174 @@
+// Properties of the canonical-key machinery (litmus/test.h): keys are
+// invariant under the full symmetry group of a test — thread exchange,
+// location permutation, and per-location value renaming (fixing the
+// initial value 0) — and the canonical reduction pass over the naive
+// space agrees exactly with the shape-level reduction of count_naive on
+// the program level.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "enumeration/exhaustive.h"
+#include "enumeration/naive.h"
+#include "litmus/test.h"
+#include "util/rng.h"
+
+namespace mcmc {
+namespace {
+
+using litmus::LitmusTest;
+
+/// Applies a location permutation to every direct-address access.
+LitmusTest permute_locations(const LitmusTest& test,
+                             const std::vector<int>& perm) {
+  std::vector<core::Thread> threads = test.program().threads();
+  for (auto& thread : threads) {
+    for (auto& instr : thread) {
+      if (instr.is_memory_access() && instr.addr_reg < 0) {
+        instr.loc = perm[static_cast<std::size_t>(instr.loc)];
+      }
+    }
+  }
+  return LitmusTest(test.name(), core::Program(std::move(threads)),
+                    test.outcome());
+}
+
+/// Swaps the two threads (registers are program-unique, so the swapped
+/// program is still valid).
+LitmusTest swap_threads(const LitmusTest& test) {
+  std::vector<core::Thread> threads = test.program().threads();
+  std::reverse(threads.begin(), threads.end());
+  return LitmusTest(test.name(), core::Program(std::move(threads)),
+                    test.outcome());
+}
+
+/// Renames write values per location with the bijection v -> k + 1 - v
+/// over each location's written values 1..k (0, the initial value, is
+/// fixed), remapping outcome constraints of reads consistently.
+LitmusTest reverse_values(const LitmusTest& test) {
+  std::map<core::Loc, int> writes;
+  for (const auto& thread : test.program().threads()) {
+    for (const auto& instr : thread) {
+      if (instr.op == core::Op::Write) ++writes[instr.loc];
+    }
+  }
+  auto remap = [&](core::Loc loc, int value) {
+    return value == 0 ? 0 : writes[loc] + 1 - value;
+  };
+
+  std::vector<core::Thread> threads = test.program().threads();
+  std::map<core::Reg, core::Loc> read_loc;
+  for (auto& thread : threads) {
+    for (auto& instr : thread) {
+      if (instr.op == core::Op::Write && !instr.value_from_reg) {
+        instr.value = remap(instr.loc, instr.value);
+      } else if (instr.op == core::Op::Read) {
+        read_loc[instr.dst] = instr.loc;
+      }
+    }
+  }
+  core::Outcome outcome;
+  for (const auto& [reg, value] : test.outcome().constraints()) {
+    const auto it = read_loc.find(reg);
+    outcome.require(reg, it == read_loc.end() ? value
+                                              : remap(it->second, value));
+  }
+  return LitmusTest(test.name(), core::Program(std::move(threads)),
+                    std::move(outcome));
+}
+
+TEST(CanonicalProperty, KeyInvariantUnderRandomSymmetryChains) {
+  enumeration::NaiveOptions bounds;
+  const auto tests = enumeration::sample_naive_tests(bounds, 150, 4242);
+  util::Rng rng(99);
+  std::vector<int> perm = {0, 1, 2};
+  for (const auto& test : tests) {
+    const std::string key = litmus::canonical_key(test);
+    LitmusTest current = test;
+    for (int step = 0; step < 4; ++step) {
+      switch (rng.below(3)) {
+        case 0: {
+          std::vector<int> p = perm;
+          for (std::size_t i = p.size(); i > 1; --i) {
+            std::swap(p[i - 1], p[rng.below(i)]);
+          }
+          current = permute_locations(current, p);
+          break;
+        }
+        case 1:
+          current = swap_threads(current);
+          break;
+        default:
+          current = reverse_values(current);
+          break;
+      }
+      EXPECT_EQ(litmus::canonical_key(current), key)
+          << "after step " << step << "\noriginal:\n" << test.to_string()
+          << "transformed:\n" << current.to_string();
+    }
+  }
+}
+
+TEST(CanonicalProperty, KeyIsStableAndSymmetricPairsActuallyMerge) {
+  // Determinism plus a positive control: a thread-swapped, location-
+  // permuted, value-renamed twin is structurally different yet
+  // canonically identical.
+  const auto tests =
+      enumeration::sample_naive_tests(enumeration::NaiveOptions{}, 40, 7);
+  for (const auto& test : tests) {
+    EXPECT_EQ(litmus::canonical_key(test), litmus::canonical_key(test));
+    const auto twin =
+        reverse_values(swap_threads(permute_locations(test, {2, 0, 1})));
+    EXPECT_EQ(litmus::canonical_key(twin), litmus::canonical_key(test));
+  }
+}
+
+TEST(CanonicalProperty, ReducedProgramClassesMatchNaiveCountsExactly) {
+  // The canonical-key pass over communicating programs must reproduce
+  // count_naive's shape-level reduction (location permutation x thread
+  // exchange) program for program: the key's extra power (value
+  // renaming) is exactly what makes material programs with symmetric
+  // shapes collapse the same way the shape encoding does.
+  enumeration::ExhaustiveOptions configs[3];
+  configs[0].bounds = {2, 1, false};  // the hand-counted tiny space
+  configs[1].bounds = {2, 2, true};
+  configs[2].bounds = {2, 3, true};
+  for (const auto& base : configs) {
+    enumeration::ExhaustiveOptions options = base;
+    options.communicating_only = true;
+    const auto reduced = enumeration::measure_reduction(options);
+    const auto naive = enumeration::count_naive(options.bounds);
+    EXPECT_EQ(reduced.canonical_programs, naive.reduced_programs)
+        << "bounds: " << options.bounds.max_accesses_per_thread << " accesses, "
+        << options.bounds.num_locations << " locations, fences="
+        << options.bounds.fences;
+    // Outcome classes merge further: outcome assignments that are images
+    // of each other under a program automorphism share a canonical key
+    // (e.g. the two single-read outcomes of W X | W X; R X that read the
+    // one write of either thread), so the canonical count is a lower
+    // bound of the shape-level one.
+    EXPECT_LE(reduced.canonical_tests, naive.reduced_tests);
+    EXPECT_GT(reduced.canonical_tests, 0);
+  }
+}
+
+TEST(CanonicalProperty, TinySpaceClassCountsAreExact) {
+  // 1 location, <= 2 accesses, no fences: 18 canonical communicating
+  // programs (hand-counted in enumeration_test.cpp) carrying 80
+  // canonical tests (86 shape-level outcome assignments, 6 of which are
+  // automorphism images).
+  enumeration::ExhaustiveOptions tiny;
+  tiny.bounds = {2, 1, false};
+  tiny.communicating_only = true;
+  const auto reduced = enumeration::measure_reduction(tiny);
+  EXPECT_EQ(reduced.canonical_programs, 18);
+  EXPECT_EQ(reduced.canonical_tests, 80);
+  const auto naive = enumeration::count_naive(tiny.bounds);
+  EXPECT_EQ(naive.reduced_programs, 18);
+  EXPECT_EQ(naive.reduced_tests, 86);
+}
+
+}  // namespace
+}  // namespace mcmc
