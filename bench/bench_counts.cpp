@@ -19,6 +19,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "peak_rss.h"
+
 #include "enumeration/exhaustive.h"
 #include "enumeration/naive.h"
 #include "enumeration/suite.h"
@@ -80,10 +82,17 @@ int main(int argc, char** argv) {
   const bool agree = stream.emitted().programs == counted.programs &&
                      stream.emitted().tests == counted.tests;
   std::printf("Streamed %s space: materialized %lld programs / %lld tests "
-              "in %.2fs; counting walk says %lld / %lld: %s\n",
+              "in %.2fs (%.0f tests/s); counting walk says %lld / %lld: %s\n",
               full ? "FULL" : "2-access",
               stream.emitted().programs, stream.emitted().tests, drain_time,
+              drain_time > 0
+                  ? static_cast<double>(stream.emitted().tests) / drain_time
+                  : 0.0,
               counted.programs, counted.tests,
               agree ? "agree" : "DISAGREE");
+  // The stream is chunked and never resident: peak RSS must stay flat
+  // even for the full 5.16M-test drain.
+  const double rss = mcmc::bench::peak_rss_mb();
+  if (rss >= 0) std::printf("Peak RSS: %.1f MB\n", rss);
   return agree ? 0 : 1;
 }

@@ -16,10 +16,15 @@
 //   --max-accesses N    accesses per thread (default 3 = the full space)
 //   --locations N       locations (default 3)
 //   --no-fences         drop the optional fences
-//   --chunk N           tests per chunk (default 8192)
+//   --chunk N           tests per chunk (default 4096)
 //   --threads N         engine threads (default: hardware concurrency)
 //   --backend B         explicit | sat | adaptive (default: adaptive)
+//   --shards N          dedup-set mutex stripes (default 64)
 //   --no-filter         disable the monotone-extremes prefilter
+//   --no-overlap        disable producer-thread chunk prefetching
+//   --audit             collision-audit the hash-based dedup (more RAM)
+//   --verify-serial     re-run single-threaded, require a bit-for-bit
+//                       identical distinguishability matrix
 //   --progress N        print chunk stats every N chunks (default 64)
 //
 // With non-default bounds the streamed space is a strict sub-space, so
@@ -28,6 +33,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "peak_rss.h"
 
 #include "engine/verdict_engine.h"
 #include "enumeration/exhaustive.h"
@@ -41,11 +48,12 @@ int main(int argc, char** argv) {
   using namespace mcmc;
 
   enumeration::ExhaustiveOptions opts;
-  opts.chunk_size = 8192;
+  opts.chunk_size = 4096;
   opts.track_program_classes = true;
   engine::EngineOptions engine_options;
   explore::TheoremHarnessOptions harness;
   long progress_every = 64;
+  bool verify_serial = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,14 +81,23 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown backend '%s'\n", argv[i]);
         return 2;
       }
+    } else if (arg == "--shards" && int_arg(1, 1 << 16, v)) {
+      harness.stream.dedup_shards = static_cast<int>(v);
     } else if (arg == "--no-filter") {
       harness.filter_extremes = false;
+    } else if (arg == "--no-overlap") {
+      harness.stream.overlap_production = false;
+    } else if (arg == "--audit") {
+      harness.stream.audit_dedup_keys = true;
+    } else if (arg == "--verify-serial") {
+      verify_serial = true;
     } else if (arg == "--progress" && int_arg(1, 1 << 20, v)) {
       progress_every = v;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--max-accesses N] [--locations N] [--no-fences]"
-                   " [--chunk N] [--threads N] [--backend B] [--no-filter]"
+                   " [--chunk N] [--threads N] [--backend B] [--shards N]"
+                   " [--no-filter] [--no-overlap] [--audit] [--verify-serial]"
                    " [--progress N]\n",
                    argv[0]);
       return 2;
@@ -126,16 +143,23 @@ int main(int argc, char** argv) {
   const double wall = timer.seconds();
 
   std::printf("\nstream: %s\n", report.stream.to_string().c_str());
-  std::printf("throughput: %.0f streamed tests/sec (%.1fs wall)\n",
+  std::printf("pipeline stages: %s%s; dedup set: %d shards\n",
+              report.stream.stages.to_string().c_str(),
+              report.stream.overlapped ? " (produce overlapped with consume)"
+                                       : "",
+              report.stream.dedup_shards);
+  std::printf("throughput: %.0f streamed tests/sec (%.1fs wall, %d threads)\n",
               wall > 0 ? static_cast<double>(report.stream.tests_streamed) / wall
                        : 0.0,
-              wall);
+              wall, eng.effective_threads());
   if (harness.filter_extremes) {
     std::printf("extremes prefilter: %zu candidates / %zu filtered "
-                "(sweep [%s])\n",
+                "(sweep %.1fs [%s])\n",
                 report.candidate_tests, report.filtered_tests,
-                report.sweep.to_string().c_str());
+                report.sweep_seconds, report.sweep.to_string().c_str());
   }
+  const double rss = bench::peak_rss_mb();
+  if (rss >= 0) std::printf("peak RSS: %.1f MB\n", rss);
 
   // ---- Symmetry reduction measured by the canonical-key machinery. ----
   const long long canonical_tests =
@@ -196,5 +220,30 @@ int main(int argc, char** argv) {
   std::printf("naive <= with-dep suite: %s\n",
               within_dep ? "holds" : "VIOLATED");
   ok = ok && within_dep;
+
+  // ---- The serial-vs-parallel determinism guard: the same stream run
+  // on one thread, no producer overlap, must induce the identical
+  // matrix bit for bit. ----
+  if (verify_serial) {
+    engine::EngineOptions serial_options = engine_options;
+    serial_options.num_threads = 1;
+    explore::TheoremHarnessOptions serial_harness = harness;
+    serial_harness.stream.overlap_production = false;
+    engine::VerdictEngine serial_eng(serial_options);
+    enumeration::ExhaustiveStream serial_stream(opts);
+    util::Timer serial_timer;
+    explore::TheoremHarnessReport serial_report;
+    const auto by_serial = explore::distinguishability_streamed(
+        serial_eng, models, serial_stream, serial_harness, &serial_report);
+    const bool identical =
+        by_serial == by_naive &&
+        serial_report.stream.tests_streamed == report.stream.tests_streamed &&
+        serial_report.stream.novel_tests == report.stream.novel_tests;
+    std::printf("\nserial re-run (1 thread, no overlap): %.1fs, "
+                "matrix + stream accounting vs parallel run: %s\n",
+                serial_timer.seconds(),
+                identical ? "IDENTICAL (bit for bit)" : "MISMATCH");
+    ok = ok && identical;
+  }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,28 @@
+// Peak resident set of the current process, shared by the bench
+// harnesses that assert bounded-memory streaming.
+#pragma once
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace mcmc::bench {
+
+/// Peak resident set of this process in MB, or a negative value when
+/// the platform doesn't expose it.  Note ru_maxrss units differ: bytes
+/// on macOS, kilobytes elsewhere.
+inline double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+#else
+  return -1.0;
+#endif
+}
+
+}  // namespace mcmc::bench

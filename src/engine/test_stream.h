@@ -8,11 +8,17 @@
 // at O(chunk size + unique keys), never O(corpus).
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "litmus/test.h"
+#include "util/timer.h"
 
 namespace mcmc::engine {
 
@@ -42,6 +48,114 @@ void for_each_test(TestSource& source, Fn&& fn) {
     for (auto& test : chunk) fn(test);
   }
 }
+
+/// Overlaps chunk production with consumption: a dedicated producer
+/// thread pulls chunks from the wrapped source into a bounded queue
+/// while the consumer processes earlier ones — the produce stage of
+/// the streaming pipeline runs concurrently with the key/dedup/verdict
+/// stages.  Chunk boundaries and order are exactly the wrapped
+/// source's (one producer, FIFO hand-off), so prefetching never
+/// changes streamed results.  A producer-side exception is rethrown
+/// from next_chunk after the chunks produced before it have been
+/// delivered.
+class ChunkPrefetcher final : public TestSource {
+ public:
+  /// `depth` bounds the queue (chunks materialized ahead of the
+  /// consumer); values below 1 are clamped to 1.  One chunk of
+  /// lookahead already hides production fully when produce is cheaper
+  /// than consume, and every queued chunk is resident memory, so the
+  /// default stays minimal.
+  explicit ChunkPrefetcher(TestSource& source, std::size_t depth = 1)
+      : source_(source), depth_(depth < 1 ? 1 : depth) {
+    producer_ = std::thread([this] { produce(); });
+  }
+
+  ~ChunkPrefetcher() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    slot_free_.notify_all();
+    producer_.join();
+  }
+
+  ChunkPrefetcher(const ChunkPrefetcher&) = delete;
+  ChunkPrefetcher& operator=(const ChunkPrefetcher&) = delete;
+
+  bool next_chunk(std::vector<litmus::LitmusTest>& out) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    chunk_ready_.wait(lock, [&] { return !queue_.empty() || done_; });
+    if (queue_.empty()) {
+      if (error_) std::rethrow_exception(error_);
+      return false;
+    }
+    Item item = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    slot_free_.notify_one();
+    if (out.empty()) {
+      out = std::move(item.tests);
+    } else {
+      for (auto& test : item.tests) out.push_back(std::move(test));
+    }
+    last_produce_seconds_ = item.produce_seconds;
+    return item.more;
+  }
+
+  /// Time the producer spent inside the wrapped source's next_chunk for
+  /// the most recently delivered chunk (runs concurrently with the
+  /// consumer, so it is overlap, not critical-path wall time).
+  [[nodiscard]] double last_produce_seconds() const {
+    return last_produce_seconds_;
+  }
+
+ private:
+  struct Item {
+    std::vector<litmus::LitmusTest> tests;
+    bool more = false;
+    double produce_seconds = 0.0;
+  };
+
+  void produce() {
+    for (;;) {
+      Item item;
+      util::Timer timer;
+      try {
+        item.more = source_.next_chunk(item.tests);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        error_ = std::current_exception();
+        done_ = true;
+        chunk_ready_.notify_all();
+        return;
+      }
+      item.produce_seconds = timer.seconds();
+      const bool more = item.more;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        slot_free_.wait(lock, [&] { return queue_.size() < depth_ || stop_; });
+        if (stop_) return;
+        queue_.push_back(std::move(item));
+        if (!more) done_ = true;
+      }
+      chunk_ready_.notify_one();
+      if (!more) return;
+    }
+  }
+
+  TestSource& source_;
+  std::size_t depth_;
+  std::thread producer_;
+
+  std::mutex mu_;
+  std::condition_variable chunk_ready_;  // consumer waits for a chunk
+  std::condition_variable slot_free_;    // producer waits for queue room
+  std::deque<Item> queue_;
+  bool done_ = false;   // producer exhausted the source (or errored)
+  bool stop_ = false;   // destructor: abandon production
+  std::exception_ptr error_;
+  double last_produce_seconds_ = 0.0;
+};
 
 /// Adapter presenting an in-memory corpus as a chunked stream (tests
 /// are moved out chunk by chunk).

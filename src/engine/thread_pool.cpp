@@ -43,11 +43,20 @@ bool WorkStealingPool::Job::try_steal(std::size_t slot, std::size_t& out) {
 }
 
 void WorkStealingPool::Job::run_one(std::size_t index) {
-  try {
-    (*fn)(index);
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(err_mu);
-    if (!err) err = std::current_exception();
+  // After the first failure the batch is poisoned: remaining indices
+  // are drained (so `remaining` still reaches zero and the submitter
+  // wakes) but their tasks never run — parallel_for rethrows the first
+  // exception, so their results could never be observed anyway.
+  if (!failed.load(std::memory_order_acquire)) {
+    try {
+      (*fn)(index);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!err) err = std::current_exception();
+      }
+      failed.store(true, std::memory_order_release);
+    }
   }
   remaining.fetch_sub(1, std::memory_order_acq_rel);
 }

@@ -39,8 +39,12 @@ class WorkStealingPool {
   /// Runs `fn(i)` once for every `i` in `[0, n)` and blocks until all
   /// complete.  Tasks must be independent; the assignment of indices to
   /// threads is unspecified.  The first exception thrown by any task is
-  /// rethrown here after the batch drains.  Not reentrant: one
-  /// `parallel_for` at a time per pool.
+  /// rethrown here after the batch drains; once a task has thrown, the
+  /// batch fails as a unit — indices not yet started are abandoned
+  /// (popped and counted, never run), so a poisoned batch finishes
+  /// promptly instead of grinding through work whose result will be
+  /// discarded.  The pool itself stays fully usable for subsequent
+  /// batches.  Not reentrant: one `parallel_for` at a time per pool.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -50,6 +54,7 @@ class WorkStealingPool {
     std::vector<std::deque<std::size_t>> queues;  // one per worker slot
     std::unique_ptr<std::mutex[]> queue_mu;
     std::atomic<std::size_t> remaining{0};
+    std::atomic<bool> failed{false};  // set with the first captured error
     std::mutex err_mu;
     std::exception_ptr err;
 

@@ -1,11 +1,14 @@
 #include "engine/verdict_engine.h"
 
 #include <atomic>
+#include <optional>
 #include <sstream>
 #include <thread>
 
 #include "core/analysis.h"
+#include "engine/sharded_key_set.h"
 #include "util/check.h"
+#include "util/hash128.h"
 #include "util/timer.h"
 
 namespace mcmc::engine {
@@ -276,7 +279,10 @@ std::vector<char> VerdictEngine::run_batch_impl(
 
   // ---- Group cells into jobs: one evaluation per distinct
   // (model class, test class) pair, with persistent-cache hits resolved
-  // immediately. ----
+  // immediately.  Cache-less batches (the streaming fast path: its
+  // canonical filter already proved every test unique) skip the whole
+  // grouping layer — requests map 1:1 onto checks with no Job, slot
+  // list, or group map allocated. ----
   struct Job {
     int model = 0;
     int test = 0;
@@ -348,61 +354,69 @@ std::vector<char> VerdictEngine::run_batch_impl(
       jobs.push_back(std::move(job));
     }
   } else {
-    jobs.reserve(requests.size());
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-      Job job;
-      job.model = requests[i].model;
-      job.test = requests[i].test;
-      job.slots.push_back(i);
-      jobs.push_back(std::move(job));
-    }
-    live_jobs = jobs.size();
+    live_jobs = requests.size();
   }
 
-  // Compact the evaluation list: indices of jobs needing a real check.
+  // Compact the evaluation list: indices of jobs needing a real check
+  // (cache path only; the direct path evaluates requests in place).
   std::vector<std::size_t> pending;
-  pending.reserve(live_jobs);
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    if (!jobs[j].from_cache) pending.push_back(j);
+  if (cache_enabled) {
+    pending.reserve(live_jobs);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (!jobs[j].from_cache) pending.push_back(j);
+    }
   }
+  const std::size_t live_checks = cache_enabled ? pending.size() : live_jobs;
 
-  // ---- Prepare only the tests that still need a real check, adopting
-  // the phase-one analyses instead of re-analyzing.  On cache-heavy
-  // streams this skips the rf enumeration and skeleton construction for
-  // every deduplicated test. ----
-  if (options_.prepared && !pending.empty()) {
-    std::vector<char> needs_prepare(tests.size(), 0);
-    for (const auto j : pending) {
-      needs_prepare[static_cast<std::size_t>(jobs[j].test)] = 1;
-    }
-    std::vector<int> to_prepare;
-    for (const int t : used_tests) {
-      if (needs_prepare[static_cast<std::size_t>(t)]) to_prepare.push_back(t);
-    }
-    const auto prepare_one = [&](std::size_t k) {
-      const auto t = static_cast<std::size_t>(to_prepare[k]);
-      prepared[t] = std::make_unique<core::PreparedTest>(
-          std::move(*analyses[t]), tests[t].outcome());
-      analyses[t].reset();
-    };
-    if (threads > 1 && to_prepare.size() > 1) {
-      pool().parallel_for(to_prepare.size(), prepare_one);
+  // ---- Evaluate the deduplicated jobs across ONE pool pass.  A
+  // cache-miss test's expensive prepared state (rf enumeration +
+  // HbProblem skeletons, adopted from the phase-one analyses instead of
+  // re-analyzing) is built by whichever worker touches the test first
+  // (std::call_once) and is immutable afterward, so worker threads
+  // share it without further synchronization and evaluation of other
+  // tests proceeds while it builds — no prepare/evaluate barrier.  On
+  // cache-heavy streams deduplicated tests never pay for preparation at
+  // all.  The job completing a test's last check frees its prepared
+  // state (every check of it happens-before the freeing decrement), so
+  // peak memory tracks the checks in flight, not the batch size — on
+  // dense streamed chunks that is the difference between tens of MB
+  // and a working set that never leaves the cache. ----
+  const bool prepared_path = options_.prepared && live_checks > 0;
+  std::vector<std::once_flag> prepare_once(prepared_path ? tests.size() : 0);
+  std::vector<std::atomic<std::uint32_t>> checks_left(
+      prepared_path ? tests.size() : 0);
+  if (prepared_path) {
+    if (cache_enabled) {
+      for (const auto j : pending) {
+        checks_left[static_cast<std::size_t>(jobs[j].test)].fetch_add(
+            1, std::memory_order_relaxed);
+      }
     } else {
-      for (std::size_t k = 0; k < to_prepare.size(); ++k) prepare_one(k);
+      for (const auto& r : requests) {
+        checks_left[static_cast<std::size_t>(r.test)].fetch_add(
+            1, std::memory_order_relaxed);
+      }
     }
   }
-
-  // ---- Evaluate the deduplicated jobs across the pool.  The prepared
-  // tests are immutable after construction, so worker threads share
-  // them without synchronization. ----
   std::atomic<std::size_t> explicit_count{0};
   std::atomic<std::size_t> sat_count{0};
   std::atomic<std::size_t> formula_evals{0};
   std::atomic<std::size_t> equivalent_evals{0};
   std::atomic<std::size_t> skeletons_used{0};
-  const auto evaluate = [&](std::size_t k) {
-    Job& job = jobs[pending[k]];
-    const auto st = static_cast<std::size_t>(job.test);
+  std::atomic<std::size_t> skeletons_built{0};
+  std::atomic<std::size_t> tests_prepared{0};
+  const auto run_check = [&](int model_idx, int test_idx) -> bool {
+    const auto st = static_cast<std::size_t>(test_idx);
+    if (options_.prepared) {
+      std::call_once(prepare_once[st], [&] {
+        prepared[st] = std::make_unique<core::PreparedTest>(
+            std::move(*analyses[st]), tests[st].outcome());
+        analyses[st].reset();
+        skeletons_built.fetch_add(prepared[st]->skeletons().size(),
+                                  std::memory_order_relaxed);
+        tests_prepared.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
     const auto& analysis = options_.prepared ? prepared[st]->analysis()
                                              : *analyses[st];
     const core::Engine backend = resolve_backend(analysis.num_events());
@@ -411,56 +425,63 @@ std::vector<char> VerdictEngine::run_batch_impl(
     } else {
       sat_count.fetch_add(1, std::memory_order_relaxed);
     }
+    bool result;
     if (options_.prepared) {
       core::PreparedCheckStats cs;
-      job.result = prepared[st]->allowed(
-          models[static_cast<std::size_t>(job.model)], backend, &cs);
+      result = prepared[st]->allowed(
+          models[static_cast<std::size_t>(model_idx)], backend, &cs);
       formula_evals.fetch_add(cs.formula_evals, std::memory_order_relaxed);
       equivalent_evals.fetch_add(cs.equivalent_pair_evals,
                                  std::memory_order_relaxed);
       skeletons_used.fetch_add(cs.skeletons_used, std::memory_order_relaxed);
+      // Last check of this test: release its prepared state (acq_rel —
+      // every earlier check's use happens-before this free).
+      if (checks_left[st].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        prepared[st].reset();
+      }
     } else {
-      job.result = core::is_allowed(
-          analysis, models[static_cast<std::size_t>(job.model)],
-          tests[st].outcome(), backend);
+      result = core::is_allowed(analysis,
+                                models[static_cast<std::size_t>(model_idx)],
+                                tests[st].outcome(), backend);
+    }
+    return result;
+  };
+  const auto evaluate = [&](std::size_t k) {
+    if (cache_enabled) {
+      Job& job = jobs[pending[k]];
+      job.result = run_check(job.model, job.test);
+    } else {
+      results[k] = run_check(requests[k].model, requests[k].test) ? 1 : 0;
     }
   };
-  if (threads > 1 && pending.size() > 1) {
-    pool().parallel_for(pending.size(), evaluate);
+  if (threads > 1 && live_checks > 1) {
+    pool().parallel_for(live_checks, evaluate);
     stats.threads_used = threads;
   } else {
-    for (std::size_t k = 0; k < pending.size(); ++k) evaluate(k);
+    for (std::size_t k = 0; k < live_checks; ++k) evaluate(k);
     stats.threads_used = 1;
   }
-  stats.checks_run = pending.size();
+  stats.checks_run = live_checks;
   stats.explicit_checks = explicit_count.load();
   stats.sat_checks = sat_count.load();
 
   if (options_.prepared) {
     // Per-test work shared across the batch's checks: each check of the
     // per-cell path would have re-enumerated rf maps and rebuilt every
-    // skeleton it visited.
-    std::vector<char> test_evaluated(tests.size(), 0);
-    std::size_t distinct_tests = 0;
-    std::size_t skeletons_built = 0;
-    for (const auto j : pending) {
-      const auto st = static_cast<std::size_t>(jobs[j].test);
-      if (!test_evaluated[st]) {
-        test_evaluated[st] = 1;
-        ++distinct_tests;
-        skeletons_built += prepared[st]->skeletons().size();
-      }
-    }
-    stats.rf_enums_saved = pending.size() - distinct_tests;
+    // skeleton it visited.  (Counters were captured at prepare time —
+    // the prepared state itself is already freed test by test.)
+    stats.rf_enums_saved = live_checks - tests_prepared.load();
     const std::size_t used = skeletons_used.load();
-    stats.skeletons_reused = used > skeletons_built ? used - skeletons_built : 0;
+    const std::size_t built = skeletons_built.load();
+    stats.skeletons_reused = used > built ? used - built : 0;
     stats.formula_evals = formula_evals.load();
     const std::size_t equivalent = equivalent_evals.load();
     stats.formula_evals_saved =
         equivalent > stats.formula_evals ? equivalent - stats.formula_evals : 0;
   }
 
-  // ---- Publish results and feed the persistent cache. ----
+  // ---- Publish results and feed the persistent cache (grouped path
+  // only: the direct path wrote results in place and persists nothing).
   if (cache_enabled && persist_verdicts) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     for (const auto j : pending) {
@@ -495,20 +516,38 @@ BitMatrix VerdictEngine::run_matrix_impl(
   std::vector<VerdictRequest> requests;
   requests.reserve(static_cast<std::size_t>(num_models) *
                    static_cast<std::size_t>(num_tests));
-  for (int m = 0; m < num_models; ++m) {
-    for (int t = 0; t < num_tests; ++t) requests.push_back({m, t});
+  // Test-major: a test's |models| checks sit adjacently in the batch,
+  // so its prepared state is built and freed back to back (verdicts are
+  // order-independent; only peak memory changes).
+  for (int t = 0; t < num_tests; ++t) {
+    for (int m = 0; m < num_models; ++m) requests.push_back({m, t});
   }
   const auto verdicts =
       run_batch_impl(models, tests, requests, persist_verdicts, use_cache);
 
   BitMatrix matrix(num_models, num_tests);
   std::size_t i = 0;
-  for (int m = 0; m < num_models; ++m) {
-    for (int t = 0; t < num_tests; ++t, ++i) {
+  for (int t = 0; t < num_tests; ++t) {
+    for (int m = 0; m < num_models; ++m, ++i) {
       if (verdicts[i]) matrix.set(m, t, true);
     }
   }
   return matrix;
+}
+
+StreamStageTimes& StreamStageTimes::operator+=(const StreamStageTimes& other) {
+  produce += other.produce;
+  keys += other.keys;
+  dedup += other.dedup;
+  verdict += other.verdict;
+  return *this;
+}
+
+std::string StreamStageTimes::to_string() const {
+  std::ostringstream os;
+  os << "produce=" << produce << "s keys=" << keys << "s dedup=" << dedup
+     << "s verdict=" << verdict << "s";
+  return os.str();
 }
 
 double StreamStats::dedup_rate() const {
@@ -523,7 +562,9 @@ std::string StreamStats::to_string() const {
   os << "chunks=" << chunks << " streamed=" << tests_streamed
      << " novel=" << novel_tests << " duplicates=" << duplicate_tests
      << " (dedup " << static_cast<int>(100.0 * dedup_rate() + 0.5)
-     << "%) wall=" << wall_seconds << "s [" << engine.to_string() << "]";
+     << "%) wall=" << wall_seconds << "s stages[" << stages.to_string()
+     << (overlapped ? " (produce overlapped)" : "")
+     << "] shards=" << dedup_shards << " [" << engine.to_string() << "]";
   return os.str();
 }
 
@@ -545,47 +586,147 @@ StreamStats VerdictEngine::run_stream(
   }
 
   const int num_models = static_cast<int>(models.size());
-  std::unordered_set<std::string> seen;
+  const int threads = effective_threads();
+  const bool dedup = stream_options.dedup_across_chunks;
+
+  // ---- Pipeline state.  The dedup set stores 128-bit key hashes in
+  // mutex-striped shards; overlap runs the source in a producer thread
+  // (ChunkPrefetcher) so materialization hides behind evaluation.  All
+  // per-chunk buffers are hoisted and reused across chunks. ----
+  std::optional<ShardedKeySet> seen;
+  if (dedup) seen.emplace(stream_options.dedup_shards);
+  total.dedup_shards = seen ? seen->num_shards() : 0;
+  // hash -> full key string; only in audit mode (see StreamOptions).
+  std::unordered_map<util::Key128, std::string, util::Key128Hash> audit;
+
+  // The prefetcher runs on its own thread, not a pool worker, so
+  // overlap engages even for a 1-thread engine (production still hides
+  // behind consumption whenever a spare core exists).
+  const bool overlap = stream_options.overlap_production;
+  total.overlapped = overlap;
+  std::optional<ChunkPrefetcher> prefetcher;
+  if (overlap) prefetcher.emplace(source);
+  TestSource& input = overlap ? static_cast<TestSource&>(*prefetcher) : source;
+
   std::vector<litmus::LitmusTest> chunk;
   std::vector<litmus::LitmusTest> novel;
+  std::vector<std::unique_ptr<core::Analysis>> analyses;
+  std::vector<util::Key128> key_hashes;
+  std::vector<char> dup_of_past;
+  std::vector<std::string> full_keys;  // audit mode only
+  std::vector<int> novel_idx;
+
   bool more = true;
   while (more) {
     chunk.clear();
-    more = source.next_chunk(chunk);
-    if (chunk.empty()) continue;
+    util::Timer produce_timer;
+    more = input.next_chunk(chunk);
+    const double produce_seconds =
+        overlap ? prefetcher->last_produce_seconds() : produce_timer.seconds();
+    if (chunk.empty()) {
+      total.stages.produce += produce_seconds;
+      continue;
+    }
 
     StreamChunkStats cs;
     cs.index = total.chunks;
     cs.streamed = chunk.size();
+    cs.stages.produce = produce_seconds;
 
-    // ---- Cross-chunk dedup.  The canonical filter builds each test's
-    // Analysis for its key and hands it to the batch below, so a novel
-    // test is analyzed exactly once per stream. ----
-    std::vector<std::unique_ptr<core::Analysis>> analyses(chunk.size());
-    std::vector<int> novel_idx;
-    if (stream_options.dedup_across_chunks) {
-      for (std::size_t i = 0; i < chunk.size(); ++i) {
-        std::string key;
-        if (structural_filter) {
-          key = litmus::structural_key(chunk[i]);
-        } else {
-          analyses[i] = std::make_unique<core::Analysis>(chunk[i].program());
-          key = litmus::canonical_key(*analyses[i], chunk[i].outcome());
+    // ---- Cross-chunk dedup, two phases.
+    //
+    // Key phase (parallel): canonical-key computation — ~2/3 of a
+    // cache-hot stream's work and embarrassingly parallel — fans out
+    // across the pool in contiguous ranges, each worker reusing one
+    // KeyScratch (no per-test string allocation), claiming hashes in
+    // the sharded set as it goes.  The canonical filter builds each
+    // test's Analysis for its key and hands it to the batch below, so
+    // a novel test is analyzed exactly once per stream.
+    //
+    // Resolve phase (serial, chunk order): a test is novel iff its key
+    // is new to the stream and it holds the chunk's minimum index for
+    // that key — exactly what serial insertion in chunk order would
+    // decide, making results independent of thread count. ----
+    const std::size_t n = chunk.size();
+    analyses.clear();
+    analyses.resize(n);
+    novel_idx.clear();
+    if (dedup) {
+      util::Timer key_timer;
+      key_hashes.resize(n);
+      dup_of_past.assign(n, 0);
+      if (stream_options.audit_dedup_keys) full_keys.assign(n, {});
+      seen->begin_chunk();
+      const std::size_t tasks =
+          threads > 1 && n > 1
+              ? (n < static_cast<std::size_t>(threads) * 4
+                     ? n
+                     : static_cast<std::size_t>(threads) * 4)
+              : 1;
+      const auto key_range = [&](std::size_t r) {
+        litmus::KeyScratch scratch;
+        const std::size_t begin = n * r / tasks;
+        const std::size_t end = n * (r + 1) / tasks;
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::string* key;
+          if (structural_filter) {
+            litmus::structural_key(chunk[i], scratch.best);
+            key = &scratch.best;
+          } else {
+            analyses[i] = std::make_unique<core::Analysis>(chunk[i].program());
+            key = &litmus::canonical_key(*analyses[i], chunk[i].outcome(),
+                                         scratch);
+          }
+          key_hashes[i] = util::hash128(*key);
+          if (stream_options.audit_dedup_keys) full_keys[i] = *key;
+          dup_of_past[i] =
+              seen->claim(key_hashes[i], static_cast<std::uint32_t>(i)) ? 1 : 0;
+          // A settled duplicate's analysis is dead weight: free it here
+          // in the worker, not after the whole chunk is keyed — on a
+          // 91%-duplicate stream this keeps the live analyses near the
+          // novel count instead of the chunk size.
+          if (dup_of_past[i] != 0) analyses[i].reset();
         }
-        if (seen.insert(std::move(key)).second) {
-          novel_idx.push_back(static_cast<int>(i));
-        } else {
+      };
+      if (tasks > 1) {
+        pool().parallel_for(tasks, key_range);
+      } else {
+        key_range(0);
+      }
+      cs.stages.keys = key_timer.seconds();
+
+      util::Timer dedup_timer;
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool duplicate =
+            dup_of_past[i] != 0 ||
+            seen->owner(key_hashes[i]) != static_cast<std::uint32_t>(i);
+        if (stream_options.audit_dedup_keys) {
+          const auto it = audit.find(key_hashes[i]);
+          if (it == audit.end()) {
+            audit.emplace(key_hashes[i], std::move(full_keys[i]));
+          } else {
+            MCMC_CHECK_MSG(it->second == full_keys[i],
+                           "128-bit dedup-key hash collision: two distinct "
+                           "canonical keys share a hash");
+          }
+        }
+        if (duplicate) {
           analyses[i].reset();
           ++cs.duplicates;
+        } else {
+          novel_idx.push_back(static_cast<int>(i));
         }
       }
+      cs.stages.dedup = dedup_timer.seconds();
     } else {
-      novel_idx.resize(chunk.size());
-      for (std::size_t i = 0; i < chunk.size(); ++i) {
+      novel_idx.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
         novel_idx[i] = static_cast<int>(i);
       }
     }
     cs.novel = novel_idx.size();
+
+    util::Timer verdict_timer;
 
     // ---- Evaluate the chunk's novel tests in place (no moves yet:
     // the analyses point into `chunk`'s programs). ----
@@ -593,8 +734,10 @@ StreamStats VerdictEngine::run_stream(
     if (!novel_idx.empty()) {
       std::vector<VerdictRequest> requests;
       requests.reserve(static_cast<std::size_t>(num_models) * novel_idx.size());
-      for (int m = 0; m < num_models; ++m) {
-        for (const int t : novel_idx) requests.push_back({m, t});
+      // Test-major order: a test's |models| checks are adjacent, so its
+      // prepared state is freed almost as soon as it is built.
+      for (const int t : novel_idx) {
+        for (int m = 0; m < num_models; ++m) requests.push_back({m, t});
       }
       // When the stream filter deduped by canonical keys, the novel
       // tests are canonically unique: no within-batch group could ever
@@ -608,8 +751,8 @@ StreamStats VerdictEngine::run_stream(
                          stream_options.persist_verdicts, batch_cache,
                          &analyses);
       std::size_t slot = 0;
-      for (int m = 0; m < num_models; ++m) {
-        for (std::size_t k = 0; k < novel_idx.size(); ++k, ++slot) {
+      for (std::size_t k = 0; k < novel_idx.size(); ++k) {
+        for (int m = 0; m < num_models; ++m, ++slot) {
           if (flat[slot]) verdicts.set(m, static_cast<int>(k), true);
         }
       }
@@ -622,11 +765,13 @@ StreamStats VerdictEngine::run_stream(
     for (const int t : novel_idx) {
       novel.push_back(std::move(chunk[static_cast<std::size_t>(t)]));
     }
+    cs.stages.verdict = verdict_timer.seconds();
 
     ++total.chunks;
     total.tests_streamed += cs.streamed;
     total.novel_tests += cs.novel;
     total.duplicate_tests += cs.duplicates;
+    total.stages += cs.stages;
     total.engine += cs.engine;
     if (on_chunk) on_chunk(novel, verdicts, cs);
   }

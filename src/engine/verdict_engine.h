@@ -127,6 +127,22 @@ struct StreamOptions {
   /// re-delivered: a duplicate's verdicts equal its first
   /// occurrence's, so downstream aggregation loses nothing.
   bool dedup_across_chunks = true;
+  /// Overlap chunk production with consumption: a producer thread
+  /// (engine::ChunkPrefetcher, dedicated — not a pool worker, so this
+  /// engages even for a 1-thread engine) materializes the next chunks
+  /// while the pool processes the current one.  Never changes results
+  /// (chunk order and boundaries are preserved).
+  bool overlap_production = true;
+  /// Mutex stripes of the cross-chunk dedup set (rounded up to a power
+  /// of two); 0 means the default (ShardedKeySet::kDefaultShards).
+  int dedup_shards = 0;
+  /// Collision audit: additionally retain every class's full key string
+  /// and verify that equal 128-bit hashes always came from equal keys,
+  /// throwing on any collision.  This re-adds the O(classes x key
+  /// length) memory the hash-based dedup removed, so it is for tests
+  /// (the slow full-space run proves the matrix is collision-free), not
+  /// production streams.
+  bool audit_dedup_keys = false;
   /// Force structural dedup keys even when every streamed model is
   /// custom-free.  Callers that reuse the delivered verdicts beyond the
   /// streamed models (e.g. the extremes-prefiltered Theorem harness,
@@ -142,12 +158,29 @@ struct StreamOptions {
   bool persist_verdicts = false;
 };
 
+/// Per-stage wall time of the streaming pipeline.  `produce` is time
+/// spent inside the source's next_chunk — with overlap_production it
+/// runs concurrently with the other stages, so it is overlap, not
+/// critical path.  `keys` is the parallel canonical-key/claim phase,
+/// `dedup` the serial chunk-order ownership resolution, `verdict` the
+/// batched evaluation plus delivery.
+struct StreamStageTimes {
+  double produce = 0.0;
+  double keys = 0.0;
+  double dedup = 0.0;
+  double verdict = 0.0;
+
+  StreamStageTimes& operator+=(const StreamStageTimes& other);
+  [[nodiscard]] std::string to_string() const;
+};
+
 /// Accounting for one streamed chunk.
 struct StreamChunkStats {
   std::size_t index = 0;      ///< 0-based chunk number
   std::size_t streamed = 0;   ///< tests pulled from the source
   std::size_t novel = 0;      ///< first-of-their-class tests evaluated
   std::size_t duplicates = 0; ///< cross-chunk dedup hits
+  StreamStageTimes stages;    ///< this chunk's per-stage wall breakdown
   EngineStats engine;         ///< engine stats of this chunk's batch
 };
 
@@ -157,6 +190,9 @@ struct StreamStats {
   std::size_t tests_streamed = 0;
   std::size_t novel_tests = 0;
   std::size_t duplicate_tests = 0;  ///< cross-chunk dedup hits
+  StreamStageTimes stages;          ///< accumulated per-stage breakdown
+  int dedup_shards = 0;             ///< stripes of the cross-chunk set
+  bool overlapped = false;          ///< producer thread was engaged
   EngineStats engine;               ///< accumulated over chunk batches
   double wall_seconds = 0.0;
 
@@ -203,8 +239,19 @@ class VerdictEngine {
   /// `on_chunk` (may be null) after every chunk.  With
   /// StreamOptions::dedup_across_chunks (the default), tests whose
   /// canonical key appeared in an earlier chunk are counted as
-  /// duplicates and skipped — the peak resident set stays
-  /// O(chunk size + unique keys) no matter how long the stream runs.
+  /// duplicates and skipped — the dedup set stores 128-bit key hashes
+  /// (16 bytes per class, auditable via audit_dedup_keys), so the peak
+  /// resident set stays O(chunk size + unique classes) no matter how
+  /// long the stream runs.
+  ///
+  /// The run is a parallel pipeline: chunk production overlaps with
+  /// consumption (overlap_production), key computation fans out across
+  /// the work-stealing pool with per-worker key buffers, and claims go
+  /// to a mutex-striped shard set.  Streamed results are bit-for-bit
+  /// deterministic under any thread count: chunk boundaries come from
+  /// the single producer, within-chunk duplicate resolution picks the
+  /// minimum index regardless of claim order, and novel tests, verdict
+  /// bits, and chunk stats are folded in chunk order.
   StreamStats run_stream(const std::vector<core::MemoryModel>& models,
                          TestSource& source, const StreamChunkSink& on_chunk,
                          const StreamOptions& stream_options = {});

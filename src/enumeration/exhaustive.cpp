@@ -59,7 +59,8 @@ bool ExhaustiveStream::start_next_program() {
 
     if (options_.track_program_classes) {
       const core::Analysis analysis(program_);
-      program_classes_.insert(litmus::canonical_key(analysis, core::Outcome{}));
+      program_classes_.insert(util::hash128(
+          litmus::canonical_key(analysis, core::Outcome{}, key_scratch_)));
     }
     return true;
   }
@@ -118,9 +119,14 @@ ReductionCounts measure_reduction(const ExhaustiveOptions& options) {
   tracked.track_program_classes = true;
   ExhaustiveStream stream(tracked);
 
-  std::unordered_set<std::string> test_classes;
+  // Classes are counted as 128-bit key hashes (run_stream's audit mode
+  // verifies hash-equality == key-equality on the same space).
+  std::unordered_set<util::Key128, util::Key128Hash> test_classes;
+  litmus::KeyScratch scratch;
   engine::for_each_test(stream, [&](const litmus::LitmusTest& test) {
-    test_classes.insert(litmus::canonical_key(test));
+    const core::Analysis analysis(test.program());
+    test_classes.insert(
+        util::hash128(litmus::canonical_key(analysis, test.outcome(), scratch)));
   });
 
   ReductionCounts counts;

@@ -19,14 +19,15 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "engine/test_stream.h"
 #include "enumeration/naive.h"
 #include "enumeration/shapes.h"
 #include "litmus/test.h"
+#include "util/hash128.h"
 
 namespace mcmc::enumeration {
 
@@ -104,7 +105,11 @@ class ExhaustiveStream final : public engine::TestSource {
   std::vector<int> odometer_;                // current outcome assignment
   bool odometer_live_ = false;
 
-  std::set<std::string> program_classes_;  // canonical program keys
+  // Canonical program classes as 128-bit key hashes (16 bytes per class
+  // instead of the full key string; see util/hash128.h for the
+  // collision margin) with a reusable key buffer.
+  std::unordered_set<util::Key128, util::Key128Hash> program_classes_;
+  litmus::KeyScratch key_scratch_;
 };
 
 /// Symmetry reduction measured by the canonical-key machinery

@@ -4,6 +4,7 @@
 
 #include "core/formula.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace mcmc::explore {
 
@@ -201,7 +202,11 @@ DistinguishMatrix distinguishability_streamed(
           }
         }
         rep.candidate_tests += candidates.size();
-        if (!candidates.empty()) folder.fold(sweep.run_matrix(models, candidates));
+        if (!candidates.empty()) {
+          util::Timer sweep_timer;
+          folder.fold(sweep.run_matrix(models, candidates));
+          rep.sweep_seconds += sweep_timer.seconds();
+        }
         if (progress) progress(cs);
       },
       stream_options);

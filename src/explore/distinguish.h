@@ -11,10 +11,15 @@
 // suite — can be compared bit for bit.
 //
 // Streamed construction never materializes the corpus: chunks flow
-// through engine::VerdictEngine::run_stream (cross-chunk canonical
-// dedup), each novel test's 90-bit verdict column is folded into the
-// pair matrix, and only distinct verdict columns pay the quadratic
-// pair sweep.  For monotone model classes an extremes prefilter
+// through engine::VerdictEngine::run_stream — the parallel pipeline
+// that overlaps chunk production with consumption, fans canonical-key
+// computation across the engine's thread pool, and dedups by 128-bit
+// key hash in a sharded set (the report's stream.stages carries the
+// produce/keys/dedup/verdict wall breakdown) — each novel test's
+// 90-bit verdict column is folded into the pair matrix in chunk order
+// (bit-for-bit deterministic under any thread count), and only
+// distinct verdict columns pay the quadratic pair sweep.  For
+// monotone model classes an extremes prefilter
 // evaluates each novel test against the weakest (F = false) and
 // strongest (F = true) models of the class first and runs the full
 // model sweep only on tests that are allowed by the former and
@@ -98,11 +103,12 @@ struct TheoremHarnessOptions {
 
 /// Accounting of a streamed harness run.
 struct TheoremHarnessReport {
-  engine::StreamStats stream;       ///< chunks, dedup, extreme-check stats
+  engine::StreamStats stream;       ///< chunks, dedup, per-stage breakdown
   std::size_t candidate_tests = 0;  ///< survived the extremes prefilter
   std::size_t filtered_tests = 0;   ///< pruned by it (cannot distinguish)
   std::size_t verdict_columns = 0;  ///< distinct verdict columns folded
   engine::EngineStats sweep;        ///< the full-model sweep batches
+  double sweep_seconds = 0.0;       ///< wall spent in the candidate sweep
 };
 
 /// Per-chunk progress callback (chunk stats come from the stream run).

@@ -18,6 +18,12 @@ std::string LitmusTest::to_string() const {
 
 std::string structural_key(const LitmusTest& test) {
   std::string key;
+  structural_key(test, key);
+  return key;
+}
+
+void structural_key(const LitmusTest& test, std::string& key) {
+  key.clear();
   for (const auto& thread : test.program().threads()) {
     key += '|';
     for (const auto& instr : thread) {
@@ -35,7 +41,6 @@ std::string structural_key(const LitmusTest& test) {
   for (const auto& [reg, value] : test.outcome().constraints()) {
     key += std::to_string(reg) + '=' + std::to_string(value) + ';';
   }
-  return key;
 }
 
 namespace {
@@ -55,9 +60,9 @@ namespace {
 /// a thread permutation and a location renaming).  DepConst register
 /// constants that reach verdicts directly (an outcome constraint on the
 /// defined register) are *not* memory values and stay raw.
-std::string serialize_permuted(const core::Analysis& an,
-                               const core::Outcome& outcome,
-                               const std::vector<int>& perm) {
+void serialize_permuted(const core::Analysis& an, const core::Outcome& outcome,
+                        const std::vector<int>& perm, std::string& key) {
+  key.clear();
   std::map<core::Loc, int> loc_id;
   auto canon_loc_id = [&](core::Loc loc) {
     const auto [it, _] = loc_id.emplace(loc, static_cast<int>(loc_id.size()));
@@ -78,7 +83,6 @@ std::string serialize_permuted(const core::Analysis& an,
     return v ? canon_value(loc, *v) : "*";
   };
 
-  std::string key;
   for (const int t : perm) {
     key += '|';
     const int len = static_cast<int>(an.program().thread(t).size());
@@ -143,28 +147,36 @@ std::string serialize_permuted(const core::Analysis& an,
       key += '!' + std::to_string(reg) + '=' + std::to_string(value);
     }
   }
-  return key;
 }
 
 }  // namespace
 
-std::string canonical_key(const core::Analysis& analysis,
-                          const core::Outcome& outcome) {
+const std::string& canonical_key(const core::Analysis& analysis,
+                                 const core::Outcome& outcome,
+                                 KeyScratch& scratch) {
   const int num_threads = analysis.program().num_threads();
   std::vector<int> perm(static_cast<std::size_t>(num_threads));
   std::iota(perm.begin(), perm.end(), 0);
 
+  serialize_permuted(analysis, outcome, perm, scratch.best);
   // Minimize over thread permutations; beyond 6 threads the factorial
   // sweep stops paying for itself, and the identity order is still a
   // sound (just less deduplicating) key.
-  if (num_threads > 6) return serialize_permuted(analysis, outcome, perm);
+  if (num_threads > 6) return scratch.best;
 
-  std::string best = serialize_permuted(analysis, outcome, perm);
   while (std::next_permutation(perm.begin(), perm.end())) {
-    std::string candidate = serialize_permuted(analysis, outcome, perm);
-    if (candidate < best) best = std::move(candidate);
+    serialize_permuted(analysis, outcome, perm, scratch.candidate);
+    if (scratch.candidate < scratch.best) {
+      std::swap(scratch.best, scratch.candidate);
+    }
   }
-  return best;
+  return scratch.best;
+}
+
+std::string canonical_key(const core::Analysis& analysis,
+                          const core::Outcome& outcome) {
+  KeyScratch scratch;
+  return canonical_key(analysis, outcome, scratch);
 }
 
 std::string canonical_key(const LitmusTest& test) {

@@ -47,6 +47,21 @@ class LitmusTest {
 /// Safe for deduplicating verdicts under *any* model.
 [[nodiscard]] std::string structural_key(const LitmusTest& test);
 
+/// Allocation-reusing variant: clears `out` and writes the key into it,
+/// keeping its capacity across calls.  The streaming pipeline computes
+/// one key per streamed test (millions per run), so each worker thread
+/// holds one buffer instead of allocating per test.
+void structural_key(const LitmusTest& test, std::string& out);
+
+/// Reusable buffers for repeated canonical-key computation.  One
+/// KeyScratch per worker thread; the reference returned by the
+/// scratch-taking `canonical_key` overload points into it and is valid
+/// until the next call with the same scratch.
+struct KeyScratch {
+  std::string best;
+  std::string candidate;
+};
+
 /// Canonical semantic key over the *resolved* event structure: threads
 /// are serialized in the lexicographically least order, locations are
 /// relabeled by first appearance per candidate order, store values (and
@@ -64,6 +79,12 @@ class LitmusTest {
 /// `structural_key` for those models.
 [[nodiscard]] std::string canonical_key(const core::Analysis& analysis,
                                         const core::Outcome& outcome);
+
+/// Allocation-reusing variant (see KeyScratch): the returned reference
+/// aliases `scratch.best`.
+[[nodiscard]] const std::string& canonical_key(const core::Analysis& analysis,
+                                               const core::Outcome& outcome,
+                                               KeyScratch& scratch);
 
 /// Convenience overload that analyzes `test.program()` internally.
 [[nodiscard]] std::string canonical_key(const LitmusTest& test);

@@ -40,8 +40,14 @@ TEST(ExhaustiveFull, NaiveSpaceDistinguishabilityEqualsCorollary1Suite) {
   options.chunk_size = 8192;
   enumeration::ExhaustiveStream stream(options);
   explore::TheoremHarnessReport report;
+  explore::TheoremHarnessOptions harness;
+  // Collision-audit the hash-based dedup over the whole 5.16M-test
+  // space: every class's full canonical key is retained and checked
+  // against its 128-bit hash, so the equivalence below also proves the
+  // hash dedup changes nothing (a collision throws mid-stream).
+  harness.stream.audit_dedup_keys = true;
   const auto by_naive = explore::distinguishability_streamed(
-      eng, models, stream, explore::TheoremHarnessOptions{}, &report);
+      eng, models, stream, harness, &report);
 
   // ---- The headline equivalence, bit for bit. ----
   EXPECT_TRUE(by_naive == by_suite_nodep)

@@ -1,0 +1,410 @@
+// The parallel streaming pipeline: determinism under any thread count,
+// hash-based sharded dedup (with collision audit), producer-overlap
+// chunk hand-off, and exception propagation from pool tasks through
+// run_batch / run_stream.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/sharded_key_set.h"
+#include "engine/test_stream.h"
+#include "engine/thread_pool.h"
+#include "engine/verdict_engine.h"
+#include "enumeration/exhaustive.h"
+#include "enumeration/suite.h"
+#include "explore/distinguish.h"
+#include "explore/space.h"
+#include "models/zoo.h"
+#include "util/hash128.h"
+
+namespace mcmc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// util::hash128
+// ---------------------------------------------------------------------------
+
+TEST(Hash128, DistinguishesAndRepeats) {
+  const util::Key128 a = util::hash128(std::string("R0=1;W0<1"));
+  const util::Key128 b = util::hash128(std::string("R0=1;W0<2"));
+  const util::Key128 c = util::hash128(std::string("R0=1;W0<1"));
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_NE(util::hash128(std::string("")), util::hash128(std::string("\0", 1)));
+  // Same content split differently by length must differ.
+  EXPECT_NE(util::hash128("ab", 2), util::hash128("ab", 1));
+}
+
+TEST(Hash128, NoCollisionsAcrossSuiteKeys) {
+  // Every canonical key of the with-dep suite hashes uniquely (the keys
+  // themselves are unique: the suite is symmetry-reduced).
+  std::set<std::pair<std::uint64_t, std::uint64_t>> hashes;
+  std::set<std::string> keys;
+  for (const auto& test : enumeration::corollary1_suite(true)) {
+    const std::string key = litmus::canonical_key(test);
+    const util::Key128 h = util::hash128(key);
+    keys.insert(key);
+    hashes.insert({h.hi, h.lo});
+  }
+  EXPECT_EQ(hashes.size(), keys.size());
+}
+
+TEST(Hash128, ScratchOverloadMatchesAllocatingOverload) {
+  litmus::KeyScratch scratch;
+  for (const auto& test : enumeration::corollary1_suite(false)) {
+    const core::Analysis analysis(test.program());
+    EXPECT_EQ(litmus::canonical_key(analysis, test.outcome(), scratch),
+              litmus::canonical_key(analysis, test.outcome()));
+    std::string structural;
+    litmus::structural_key(test, structural);
+    EXPECT_EQ(structural, litmus::structural_key(test));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// engine::ShardedKeySet
+// ---------------------------------------------------------------------------
+
+TEST(ShardedKeySet, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(engine::ShardedKeySet(1).num_shards(), 1);
+  EXPECT_EQ(engine::ShardedKeySet(3).num_shards(), 4);
+  EXPECT_EQ(engine::ShardedKeySet(64).num_shards(), 64);
+  EXPECT_EQ(engine::ShardedKeySet(0).num_shards(),
+            engine::ShardedKeySet::kDefaultShards);
+}
+
+TEST(ShardedKeySet, MinIndexOwnsWithinChunkAndEarlierChunksSeal) {
+  engine::ShardedKeySet set(4);
+  const util::Key128 k1 = util::hash128(std::string("k1"));
+  const util::Key128 k2 = util::hash128(std::string("k2"));
+
+  set.begin_chunk();
+  EXPECT_FALSE(set.claim(k1, 7));  // claims arrive out of order
+  EXPECT_FALSE(set.claim(k1, 3));
+  EXPECT_FALSE(set.claim(k1, 5));
+  EXPECT_FALSE(set.claim(k2, 1));
+  EXPECT_EQ(set.owner(k1), 3u);  // the minimum index wins
+  EXPECT_EQ(set.owner(k2), 1u);
+
+  set.begin_chunk();
+  EXPECT_TRUE(set.claim(k1, 0));  // sealed by the previous chunk
+  EXPECT_TRUE(set.claim(k2, 2));  // ditto
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ShardedKeySet, SealedKeysReportDuplicateOfPast) {
+  engine::ShardedKeySet set(8);
+  const util::Key128 k = util::hash128(std::string("key"));
+  set.begin_chunk();
+  EXPECT_FALSE(set.claim(k, 0));
+  EXPECT_EQ(set.owner(k), 0u);
+  set.begin_chunk();
+  EXPECT_TRUE(set.claim(k, 4));
+  EXPECT_TRUE(set.claim(k, 9));
+}
+
+TEST(ShardedKeySet, ParallelClaimsResolveDeterministically) {
+  // Claims race from several threads; the resolved owner must be the
+  // minimum claiming index, run after run.
+  for (int round = 0; round < 20; ++round) {
+    engine::ShardedKeySet set(16);
+    set.begin_chunk();
+    const util::Key128 shared = util::hash128(std::string("shared"));
+    std::vector<std::thread> threads;
+    std::atomic<int> sealed{0};
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::uint32_t i = 0; i < 64; ++i) {
+          if (set.claim(shared, i * 4 + static_cast<std::uint32_t>(t))) {
+            sealed.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(sealed.load(), 0);
+    EXPECT_EQ(set.owner(shared), 0u);
+    EXPECT_EQ(set.size(), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// engine::ChunkPrefetcher
+// ---------------------------------------------------------------------------
+
+TEST(ChunkPrefetcher, DeliversSameChunksAsDirectDrain) {
+  const auto suite = enumeration::corollary1_suite(true);
+
+  engine::VectorSource direct(suite, 13);
+  std::vector<std::vector<std::string>> direct_chunks;
+  {
+    std::vector<litmus::LitmusTest> chunk;
+    bool more = true;
+    while (more) {
+      chunk.clear();
+      more = direct.next_chunk(chunk);
+      std::vector<std::string> names;
+      for (const auto& t : chunk) names.push_back(t.name());
+      direct_chunks.push_back(std::move(names));
+    }
+  }
+
+  engine::VectorSource wrapped(suite, 13);
+  engine::ChunkPrefetcher prefetcher(wrapped, 2);
+  std::vector<std::vector<std::string>> prefetched_chunks;
+  {
+    std::vector<litmus::LitmusTest> chunk;
+    bool more = true;
+    while (more) {
+      chunk.clear();
+      more = prefetcher.next_chunk(chunk);
+      std::vector<std::string> names;
+      for (const auto& t : chunk) names.push_back(t.name());
+      prefetched_chunks.push_back(std::move(names));
+      EXPECT_GE(prefetcher.last_produce_seconds(), 0.0);
+    }
+  }
+  EXPECT_EQ(prefetched_chunks, direct_chunks);
+  // Exhausted: further calls keep returning false without blocking.
+  std::vector<litmus::LitmusTest> chunk;
+  EXPECT_FALSE(prefetcher.next_chunk(chunk));
+  EXPECT_TRUE(chunk.empty());
+}
+
+TEST(ChunkPrefetcher, EarlyDestructionDoesNotHang) {
+  const auto suite = enumeration::corollary1_suite(true);
+  engine::VectorSource wrapped(suite, 1);  // many small chunks, depth 1
+  {
+    engine::ChunkPrefetcher prefetcher(wrapped, 1);
+    std::vector<litmus::LitmusTest> chunk;
+    (void)prefetcher.next_chunk(chunk);  // consume one, abandon the rest
+  }
+  SUCCEED();
+}
+
+namespace {
+class ThrowingSource final : public engine::TestSource {
+ public:
+  explicit ThrowingSource(std::vector<litmus::LitmusTest> first)
+      : first_(std::move(first)) {}
+  bool next_chunk(std::vector<litmus::LitmusTest>& out) override {
+    if (!delivered_) {
+      delivered_ = true;
+      for (auto& t : first_) out.push_back(std::move(t));
+      return true;
+    }
+    throw std::runtime_error("source failed");
+  }
+
+ private:
+  std::vector<litmus::LitmusTest> first_;
+  bool delivered_ = false;
+};
+}  // namespace
+
+TEST(ChunkPrefetcher, ProducerExceptionSurfacesAfterEarlierChunks) {
+  auto suite = enumeration::corollary1_suite(false);
+  suite.erase(suite.begin() + 4, suite.end());
+  ThrowingSource source(suite);
+  engine::ChunkPrefetcher prefetcher(source, 2);
+  std::vector<litmus::LitmusTest> chunk;
+  EXPECT_TRUE(prefetcher.next_chunk(chunk));  // the good chunk arrives
+  EXPECT_EQ(chunk.size(), 4u);
+  chunk.clear();
+  EXPECT_THROW(prefetcher.next_chunk(chunk), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Exception propagation: pool -> run_batch -> run_stream
+// ---------------------------------------------------------------------------
+
+TEST(PoolExceptions, FirstTaskExceptionRethrownAndPoolReusable) {
+  engine::WorkStealingPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(256,
+                        [](std::size_t i) {
+                          if (i == 97) throw std::runtime_error("task 97");
+                        }),
+      std::runtime_error);
+
+  // The pool survives a poisoned batch: the next batch runs every task.
+  std::atomic<std::size_t> ran{0};
+  pool.parallel_for(512, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 512u);
+}
+
+TEST(PoolExceptions, FailFastSkipsWorkAfterFailure) {
+  // A single-slot pool pops its own deque LIFO, so index 99 executes
+  // first; throwing there must abandon the remaining 99 tasks (popped
+  // and counted, never run) instead of grinding through them.
+  engine::WorkStealingPool pool(1);
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   ran.fetch_add(1);
+                                   if (i == 99) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 1u);
+}
+
+core::MemoryModel throwing_model() {
+  return core::MemoryModel(
+      "throwing",
+      core::Formula::custom("Boom", [](const core::Analysis&, core::EventId,
+                                       core::EventId) -> bool {
+        throw std::runtime_error("predicate exploded");
+      }));
+}
+
+TEST(EngineExceptions, ThrowingPredicateSurfacesFromRunBatch) {
+  for (const int threads : {1, 4}) {
+    engine::EngineOptions options;
+    options.num_threads = threads;
+    engine::VerdictEngine eng(options);
+    const auto suite = enumeration::corollary1_suite(false);
+    const std::vector<core::MemoryModel> models = {throwing_model()};
+    std::vector<engine::VerdictRequest> requests;
+    for (int t = 0; t < static_cast<int>(suite.size()); ++t) {
+      requests.push_back({0, t});
+    }
+    EXPECT_THROW((void)eng.run_batch(models, suite, requests),
+                 std::runtime_error)
+        << "threads=" << threads;
+
+    // The engine (and its pool) must remain usable afterwards.
+    const auto matrix = eng.run_matrix({models::sc(), models::tso()}, suite);
+    EXPECT_EQ(matrix.rows(), 2);
+    EXPECT_EQ(matrix.cols(), static_cast<int>(suite.size()));
+  }
+}
+
+TEST(EngineExceptions, ThrowingPredicateSurfacesFromRunStream) {
+  for (const int threads : {1, 4}) {
+    engine::EngineOptions options;
+    options.num_threads = threads;
+    engine::VerdictEngine eng(options);
+    engine::VectorSource source(enumeration::corollary1_suite(false), 16);
+    const std::vector<core::MemoryModel> models = {throwing_model(),
+                                                   models::sc()};
+    EXPECT_THROW((void)eng.run_stream(models, source, nullptr),
+                 std::runtime_error)
+        << "threads=" << threads;
+
+    engine::VectorSource good(enumeration::corollary1_suite(false), 16);
+    const auto stats = eng.run_stream({models::sc()}, good, nullptr);
+    EXPECT_EQ(stats.tests_streamed, enumeration::corollary1_suite(false).size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: identical streamed results under any thread count
+// ---------------------------------------------------------------------------
+
+struct StreamCapture {
+  std::vector<std::string> novel_names;
+  std::vector<char> verdict_bits;
+  std::vector<std::size_t> chunk_streamed;
+  std::vector<std::size_t> chunk_novel;
+  std::vector<std::size_t> chunk_duplicates;
+};
+
+StreamCapture run_slice_stream(int threads, bool overlap, bool audit,
+                               int shards) {
+  enumeration::ExhaustiveOptions options;
+  options.bounds.max_accesses_per_thread = 2;
+  options.chunk_size = 512;
+  enumeration::ExhaustiveStream stream(options);
+
+  engine::EngineOptions engine_options;
+  engine_options.num_threads = threads;
+  engine::VerdictEngine eng(engine_options);
+
+  engine::StreamOptions stream_options;
+  stream_options.overlap_production = overlap;
+  stream_options.audit_dedup_keys = audit;
+  stream_options.dedup_shards = shards;
+
+  const std::vector<core::MemoryModel> models = {
+      explore::ModelChoices{4, 4, 4, 4}.to_model(),
+      explore::ModelChoices{1, 0, 1, 0}.to_model()};
+
+  StreamCapture capture;
+  (void)eng.run_stream(
+      models, stream,
+      [&](const std::vector<litmus::LitmusTest>& novel,
+          const engine::BitMatrix& verdicts,
+          const engine::StreamChunkStats& cs) {
+        for (std::size_t i = 0; i < novel.size(); ++i) {
+          capture.novel_names.push_back(novel[i].name());
+          for (int m = 0; m < verdicts.rows(); ++m) {
+            capture.verdict_bits.push_back(
+                verdicts.get(m, static_cast<int>(i)) ? 1 : 0);
+          }
+        }
+        capture.chunk_streamed.push_back(cs.streamed);
+        capture.chunk_novel.push_back(cs.novel);
+        capture.chunk_duplicates.push_back(cs.duplicates);
+      },
+      stream_options);
+  return capture;
+}
+
+TEST(StreamDeterminism, TwoAccessSliceBitForBitAcrossThreadCounts) {
+  // The serial reference: 1 thread, no producer overlap, audit on (the
+  // collision audit must hold on the whole slice).
+  const StreamCapture serial =
+      run_slice_stream(1, /*overlap=*/false, /*audit=*/true, /*shards=*/0);
+  ASSERT_FALSE(serial.novel_names.empty());
+
+  // Parallel runs with different thread counts, shard counts, overlap
+  // on: every delivered name, verdict bit, and chunk stat identical.
+  for (const int threads : {2, 4}) {
+    const StreamCapture parallel =
+        run_slice_stream(threads, /*overlap=*/true, /*audit=*/true,
+                         threads == 2 ? 8 : 0);
+    EXPECT_EQ(parallel.novel_names, serial.novel_names) << threads;
+    EXPECT_EQ(parallel.verdict_bits, serial.verdict_bits) << threads;
+    EXPECT_EQ(parallel.chunk_streamed, serial.chunk_streamed) << threads;
+    EXPECT_EQ(parallel.chunk_novel, serial.chunk_novel) << threads;
+    EXPECT_EQ(parallel.chunk_duplicates, serial.chunk_duplicates) << threads;
+  }
+}
+
+TEST(StreamDeterminism, HarnessMatrixIdenticalAcrossThreadCounts) {
+  // The full Theorem harness (extremes prefilter + 90-model sweep) over
+  // a bounded slice: 4 threads must reproduce the 1-thread matrix bit
+  // for bit.
+  enumeration::ExhaustiveOptions slice;
+  slice.bounds.max_accesses_per_thread = 2;
+  slice.bounds.num_locations = 2;
+  slice.chunk_size = 256;
+
+  std::vector<core::MemoryModel> models;
+  for (const auto& c : explore::model_space(true)) models.push_back(c.to_model());
+
+  auto run = [&](int threads) {
+    engine::EngineOptions options;
+    options.num_threads = threads;
+    engine::VerdictEngine eng(options);
+    enumeration::ExhaustiveStream stream(slice);
+    explore::TheoremHarnessReport report;
+    const auto matrix = explore::distinguishability_streamed(
+        eng, models, stream, explore::TheoremHarnessOptions{}, &report);
+    return std::make_pair(matrix, report.stream.novel_tests);
+  };
+
+  const auto [serial_matrix, serial_novel] = run(1);
+  const auto [parallel_matrix, parallel_novel] = run(4);
+  EXPECT_TRUE(serial_matrix == parallel_matrix);
+  EXPECT_EQ(serial_novel, parallel_novel);
+  EXPECT_GT(serial_matrix.distinguished_pairs(), 0);
+}
+
+}  // namespace
+}  // namespace mcmc
