@@ -26,6 +26,10 @@
 //   --verify-serial     re-run single-threaded, require a bit-for-bit
 //                       identical distinguishability matrix
 //   --progress N        print chunk stats every N chunks (default 64)
+//   --json FILE         also write the run summary (bounds, counts,
+//                       stage breakdown, throughput, matrix outcome) as
+//                       JSON; BENCH_exhaustive.json in the repo root is
+//                       a committed snapshot of a full-space run
 //
 // With non-default bounds the streamed space is a strict sub-space, so
 // containment (naive <= suite) is checked instead of equality.
@@ -54,6 +58,7 @@ int main(int argc, char** argv) {
   explore::TheoremHarnessOptions harness;
   long progress_every = 64;
   bool verify_serial = false;
+  std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -93,12 +98,14 @@ int main(int argc, char** argv) {
       verify_serial = true;
     } else if (arg == "--progress" && int_arg(1, 1 << 20, v)) {
       progress_every = v;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--max-accesses N] [--locations N] [--no-fences]"
                    " [--chunk N] [--threads N] [--backend B] [--shards N]"
                    " [--no-filter] [--no-overlap] [--audit] [--verify-serial]"
-                   " [--progress N]\n",
+                   " [--progress N] [--json FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -194,8 +201,10 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", table.to_string().c_str());
 
   bool ok = true;
+  bool theorem_identical = false;
   if (full_space) {
     const bool equal = by_naive == by_suite_nodep;
+    theorem_identical = equal;
     std::printf("naive space vs no-dep suite, bit for bit: %s\n",
                 equal ? "IDENTICAL (Theorem 1 holds empirically)"
                       : "MISMATCH");
@@ -244,6 +253,63 @@ int main(int argc, char** argv) {
                 serial_timer.seconds(),
                 identical ? "IDENTICAL (bit for bit)" : "MISMATCH");
     ok = ok && identical;
+  }
+
+  // ---- Machine-readable summary (committed snapshots live in the repo
+  // root as BENCH_exhaustive.json). ----
+  if (!json_path.empty()) {
+    std::FILE* js = std::fopen(json_path.c_str(), "w");
+    if (js == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    const auto& s = report.stream;
+    std::fprintf(js, "{\n");
+    std::fprintf(js,
+                 "  \"bounds\": {\"max_accesses_per_thread\": %d, "
+                 "\"num_locations\": %d, \"fences\": %s},\n",
+                 opts.bounds.max_accesses_per_thread,
+                 opts.bounds.num_locations,
+                 opts.bounds.fences ? "true" : "false");
+    std::fprintf(js, "  \"full_space\": %s,\n",
+                 full_space ? "true" : "false");
+    std::fprintf(js, "  \"chunk_size\": %d,\n", opts.chunk_size);
+    std::fprintf(js, "  \"threads\": %d,\n", eng.effective_threads());
+    std::fprintf(js, "  \"programs\": %lld,\n", stream.emitted().programs);
+    std::fprintf(js, "  \"program_classes\": %lld,\n",
+                 stream.canonical_programs());
+    std::fprintf(js, "  \"tests_streamed\": %zu,\n", s.tests_streamed);
+    std::fprintf(js, "  \"novel_tests\": %zu,\n", s.novel_tests);
+    std::fprintf(js, "  \"duplicate_tests\": %zu,\n", s.duplicate_tests);
+    std::fprintf(js, "  \"dedup_rate\": %.6f,\n", s.dedup_rate());
+    std::fprintf(js, "  \"wall_seconds\": %.3f,\n", wall);
+    std::fprintf(js, "  \"tests_per_second\": %.0f,\n",
+                 wall > 0 ? static_cast<double>(s.tests_streamed) / wall : 0.0);
+    std::fprintf(js,
+                 "  \"stages_seconds\": {\"produce\": %.3f, \"keys\": %.3f, "
+                 "\"dedup\": %.3f, \"verdict\": %.3f},\n",
+                 s.stages.produce, s.stages.keys, s.stages.dedup,
+                 s.stages.verdict);
+    std::fprintf(js, "  \"produce_overlapped\": %s,\n",
+                 s.overlapped ? "true" : "false");
+    std::fprintf(js, "  \"dedup_audit\": %s,\n",
+                 harness.stream.audit_dedup_keys ? "true" : "false");
+    std::fprintf(js, "  \"extremes_prefilter\": %s,\n",
+                 harness.filter_extremes ? "true" : "false");
+    std::fprintf(js, "  \"candidate_tests\": %zu,\n", report.candidate_tests);
+    std::fprintf(js, "  \"sweep_seconds\": %.3f,\n", report.sweep_seconds);
+    std::fprintf(js, "  \"distinguished_pairs\": {\"naive_stream\": %d, "
+                 "\"suite_nodep\": %d, \"suite_dep\": %d},\n",
+                 by_naive.distinguished_pairs(),
+                 by_suite_nodep.distinguished_pairs(),
+                 by_suite_dep.distinguished_pairs());
+    std::fprintf(js, "  \"theorem1_identical\": %s,\n",
+                 theorem_identical ? "true" : "false");
+    std::fprintf(js, "  \"peak_rss_mb\": %.1f,\n", bench::peak_rss_mb());
+    std::fprintf(js, "  \"ok\": %s\n", ok ? "true" : "false");
+    std::fprintf(js, "}\n");
+    std::fclose(js);
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,107 @@
+#include "core/key_facts.h"
+
+namespace mcmc::core {
+
+void KeyFacts::grow_reg_tables(Reg reg) {
+  const auto need = static_cast<std::size_t>(reg) + 1;
+  if (reg_value_gen_.size() < need) {
+    reg_value_gen_.resize(need, 0);
+    reg_value_.resize(need, 0);
+    reg_def_gen_.resize(need, 0);
+    reg_def_.resize(need, 0);
+    reg_defined_gen_.resize(need, 0);
+  }
+}
+
+bool KeyFacts::build(const Program& program) {
+  ++gen_;
+  events_.clear();
+  taint_.clear();
+  ctrl_.clear();
+  thread_base_.clear();
+  thread_base_.push_back(0);
+
+  const int num_threads = program.num_threads();
+  for (int t = 0; t < num_threads; ++t) {
+    const auto& th = program.thread(t);
+    const int len = static_cast<int>(th.size());
+    if (len > 64) return false;  // dependency masks hold 64 positions
+
+    // Union of the taint of every branch so far: the control-dependency
+    // sources of whatever comes next (Analysis::compute_deps's cdep).
+    std::uint64_t branch_sources = 0;
+    for (int j = 0; j < len; ++j) {
+      const auto& instr = th[static_cast<std::size_t>(j)];
+      // Transitive data-dependency sources of instruction j, as a mask
+      // over earlier positions of this thread.  Consuming a register
+      // absorbs its defining position and, transitively, that
+      // position's own (already final) sources.
+      std::uint64_t sources = 0;
+      bool resolvable = true;
+      const auto absorb = [&](Reg r) {
+        if (r < 0) return;
+        if (static_cast<std::size_t>(r) >= reg_def_gen_.size() ||
+            reg_def_gen_[static_cast<std::size_t>(r)] != gen_) {
+          return;  // defined in another thread: validate() rejects this
+        }
+        const int d = reg_def_[static_cast<std::size_t>(r)];
+        sources |= (1ULL << d) |
+                   taint_[static_cast<std::size_t>(thread_base_.back() + d)];
+      };
+      const auto static_value = [&](Reg r, int& out) {
+        if (static_cast<std::size_t>(r) < reg_value_gen_.size() &&
+            reg_value_gen_[static_cast<std::size_t>(r)] == gen_) {
+          out = reg_value_[static_cast<std::size_t>(r)];
+          return;
+        }
+        resolvable = false;
+      };
+      absorb(instr.addr_reg);
+      if (instr.op == Op::DepConst || instr.op == Op::Branch) {
+        absorb(instr.src);
+      }
+      if (instr.op == Op::Write && instr.value_from_reg) absorb(instr.src);
+
+      Event e;
+      e.op = instr.op;
+      e.dst = instr.dst;
+      if (instr.op == Op::DepConst) {
+        e.value = instr.value;
+        if (instr.dst >= 0) {
+          grow_reg_tables(instr.dst);
+          reg_value_gen_[static_cast<std::size_t>(instr.dst)] = gen_;
+          reg_value_[static_cast<std::size_t>(instr.dst)] = instr.value;
+        }
+      }
+      if (instr.is_memory_access()) {
+        if (instr.addr_reg >= 0) {
+          static_value(instr.addr_reg, e.loc);
+          if (e.loc < 0) resolvable = false;
+        } else {
+          e.loc = instr.loc;
+        }
+      }
+      if (instr.op == Op::Write && instr.value_from_reg) {
+        static_value(instr.src, e.value);
+      } else if (instr.op == Op::Write) {
+        e.value = instr.value;
+      }
+      if (!resolvable) return false;  // Analysis would MCMC_CHECK here
+      if (instr.dst >= 0) {
+        grow_reg_tables(instr.dst);
+        reg_def_gen_[static_cast<std::size_t>(instr.dst)] = gen_;
+        reg_def_[static_cast<std::size_t>(instr.dst)] = j;
+        reg_defined_gen_[static_cast<std::size_t>(instr.dst)] = gen_;
+      }
+
+      events_.push_back(e);
+      taint_.push_back(sources);
+      ctrl_.push_back(branch_sources);
+      if (instr.op == Op::Branch) branch_sources |= sources;
+    }
+    thread_base_.push_back(static_cast<int>(events_.size()));
+  }
+  return true;
+}
+
+}  // namespace mcmc::core

@@ -204,67 +204,73 @@ std::vector<char> VerdictEngine::run_batch_impl(
   const bool need_canonical = cache_enabled && any_canonical;
   const bool need_structural = cache_enabled && any_structural;
 
-  // ---- Per-test shared state (built once, shared across models and
-  // worker threads) and test keys.  Only the bare Analysis is built
-  // here — enough for the cache keys; the expensive prepared state (rf
-  // enumeration + HbProblem skeletons) is deferred until the cache has
-  // spoken, so cache-hit tests never pay for it. ----
+  // ---- Test fingerprints.  128-bit canonical/structural fingerprints
+  // (litmus::canonical_fingerprint) are all the cache layer needs: no
+  // Analysis and no key string is built here.  Analyses are deferred
+  // until the cache and the within-batch dedup have spoken, so only
+  // tests that actually reach evaluation pay for one. ----
   std::vector<std::unique_ptr<core::PreparedTest>> prepared(tests.size());
   std::vector<std::unique_ptr<core::Analysis>> analyses(tests.size());
-  std::vector<std::string> canonical_keys(tests.size());
-  std::vector<std::string> structural_keys(tests.size());
-  const auto analyze_one = [&](std::size_t k) {
-    const int t = used_tests[k];
-    const auto& test = tests[static_cast<std::size_t>(t)];
-    auto built =
-        (premade_analyses != nullptr &&
-         (*premade_analyses)[static_cast<std::size_t>(t)] != nullptr)
-            ? std::move((*premade_analyses)[static_cast<std::size_t>(t)])
-            : std::make_unique<core::Analysis>(test.program());
-    if (need_canonical) {
-      canonical_keys[static_cast<std::size_t>(t)] =
-          litmus::canonical_key(*built, test.outcome());
-    }
-    if (need_structural) {
-      structural_keys[static_cast<std::size_t>(t)] = litmus::structural_key(test);
-    }
-    analyses[static_cast<std::size_t>(t)] = std::move(built);
-  };
-  stats.unique_analyses = used_tests.size();
+  std::vector<util::Key128> canonical_fps(need_canonical ? tests.size() : 0);
+  std::vector<util::Key128> structural_fps(need_structural ? tests.size() : 0);
   const int threads = effective_threads();
-  if (threads > 1 && used_tests.size() > 1) {
-    pool().parallel_for(used_tests.size(), analyze_one);
-  } else {
-    for (std::size_t k = 0; k < used_tests.size(); ++k) analyze_one(k);
+  if (need_canonical || need_structural) {
+    const std::size_t nk = used_tests.size();
+    const std::size_t tasks =
+        threads > 1 && nk > 1
+            ? (nk < static_cast<std::size_t>(threads) * 4
+                   ? nk
+                   : static_cast<std::size_t>(threads) * 4)
+            : 1;
+    const auto fingerprint_range = [&](std::size_t r) {
+      litmus::KeyScratch scratch;
+      const std::size_t begin = nk * r / tasks;
+      const std::size_t end = nk * (r + 1) / tasks;
+      for (std::size_t k = begin; k < end; ++k) {
+        const auto t = static_cast<std::size_t>(used_tests[k]);
+        if (need_canonical) {
+          canonical_fps[t] = litmus::canonical_fingerprint(tests[t], scratch);
+        }
+        if (need_structural) {
+          structural_fps[t] = litmus::structural_fingerprint(tests[t]);
+        }
+      }
+    };
+    if (tasks > 1) {
+      pool().parallel_for(tasks, fingerprint_range);
+    } else {
+      fingerprint_range(0);
+    }
   }
 
-  // ---- Intern keys into dense class ids so the per-cell grouping cost
-  // is two array reads and one integer hash, never a string. ----
+  // ---- Intern fingerprints into dense class ids so the per-cell
+  // grouping cost is two array reads and one integer hash. ----
   //
   // test_class[t]: class id of test t under each key flavor; tests whose
-  // keys collide share a class.  model_class[m]: ditto for model keys.
+  // fingerprints collide share a class.  model_class[m]: ditto for model
+  // keys (strings — there are few models, many tests).
   std::vector<int> model_class(models.size(), -1);
   std::vector<int> canonical_class(tests.size(), -1);
   std::vector<int> structural_class(tests.size(), -1);
   std::vector<const std::string*> model_class_key;
-  std::vector<const std::string*> test_class_key;
+  std::vector<util::Key128> test_class_key;
   if (cache_enabled) {
     std::unordered_map<std::string, int> model_interner;
-    std::unordered_map<std::string, int> test_interner;
-    const auto intern_test = [&](const std::string& key) {
+    std::unordered_map<util::Key128, int, util::Key128Hash> test_interner;
+    const auto intern_test = [&](const util::Key128& key) {
       const auto [it, inserted] =
           test_interner.emplace(key, static_cast<int>(test_class_key.size()));
-      if (inserted) test_class_key.push_back(&key);
+      if (inserted) test_class_key.push_back(key);
       return it->second;
     };
     for (const int t : used_tests) {
       if (need_canonical) {
         canonical_class[static_cast<std::size_t>(t)] =
-            intern_test(canonical_keys[static_cast<std::size_t>(t)]);
+            intern_test(canonical_fps[static_cast<std::size_t>(t)]);
       }
       if (need_structural) {
         structural_class[static_cast<std::size_t>(t)] =
-            intern_test(structural_keys[static_cast<std::size_t>(t)]);
+            intern_test(structural_fps[static_cast<std::size_t>(t)]);
       }
     }
     for (int m = 0; m < num_models; ++m) {
@@ -297,8 +303,8 @@ std::vector<char> VerdictEngine::run_batch_impl(
   if (cache_enabled) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     // Per model class, its persistent-cache bucket (looked up once).
-    std::vector<const std::unordered_map<std::string, bool>*> buckets(
-        model_class_key.size(), nullptr);
+    std::vector<const std::unordered_map<util::Key128, bool, util::Key128Hash>*>
+        buckets(model_class_key.size(), nullptr);
     std::vector<char> bucket_ready(model_class_key.size(), 0);
     std::unordered_map<std::uint64_t, std::size_t> group_of;
     group_of.reserve(requests.size());
@@ -343,7 +349,7 @@ std::vector<char> VerdictEngine::run_batch_impl(
       const auto* bucket = buckets[static_cast<std::size_t>(model_cls)];
       if (bucket != nullptr) {
         const auto hit =
-            bucket->find(*test_class_key[static_cast<std::size_t>(test_cls)]);
+            bucket->find(test_class_key[static_cast<std::size_t>(test_cls)]);
         if (hit != bucket->end()) {
           job.from_cache = true;
           job.result = hit->second;
@@ -367,6 +373,38 @@ std::vector<char> VerdictEngine::run_batch_impl(
     }
   }
   const std::size_t live_checks = cache_enabled ? pending.size() : live_jobs;
+
+  // ---- Analyses, now that the cache has spoken: built only for the
+  // tests some live job evaluates.  With the fingerprints above coming
+  // from core::KeyFacts, a dedup- or cache-served test never constructs
+  // an Analysis at all. ----
+  std::vector<int> eval_tests;
+  if (cache_enabled) {
+    std::vector<char> evaluated(tests.size(), 0);
+    for (const auto j : pending) {
+      evaluated[static_cast<std::size_t>(jobs[j].test)] = 1;
+    }
+    for (int t = 0; t < num_tests; ++t) {
+      if (evaluated[static_cast<std::size_t>(t)]) eval_tests.push_back(t);
+    }
+  } else {
+    eval_tests = used_tests;
+  }
+  stats.unique_analyses = eval_tests.size();
+  if (!eval_tests.empty()) {
+    const auto analyze_one = [&](std::size_t k) {
+      const auto t = static_cast<std::size_t>(eval_tests[k]);
+      analyses[t] =
+          (premade_analyses != nullptr && (*premade_analyses)[t] != nullptr)
+              ? std::move((*premade_analyses)[t])
+              : std::make_unique<core::Analysis>(tests[t].program());
+    };
+    if (threads > 1 && eval_tests.size() > 1) {
+      pool().parallel_for(eval_tests.size(), analyze_one);
+    } else {
+      for (std::size_t k = 0; k < eval_tests.size(); ++k) analyze_one(k);
+    }
+  }
 
   // ---- Evaluate the deduplicated jobs across ONE pool pass.  A
   // cache-miss test's expensive prepared state (rf enumeration +
@@ -487,7 +525,7 @@ std::vector<char> VerdictEngine::run_batch_impl(
     for (const auto j : pending) {
       const auto& job = jobs[j];
       cache_[*model_class_key[static_cast<std::size_t>(job.model_cls)]]
-          .emplace(*test_class_key[static_cast<std::size_t>(job.test_cls)],
+          .emplace(test_class_key[static_cast<std::size_t>(job.test_cls)],
                    job.result);
     }
   }
@@ -596,8 +634,11 @@ StreamStats VerdictEngine::run_stream(
   std::optional<ShardedKeySet> seen;
   if (dedup) seen.emplace(stream_options.dedup_shards);
   total.dedup_shards = seen ? seen->num_shards() : 0;
-  // hash -> full key string; only in audit mode (see StreamOptions).
+  // Audit mode only: fingerprint -> legacy key string and back, proving
+  // fingerprint equality coincides with legacy key equality over the
+  // stream (see StreamOptions::audit_dedup_keys).
   std::unordered_map<util::Key128, std::string, util::Key128Hash> audit;
+  std::unordered_map<std::string, util::Key128> audit_reverse;
 
   // The prefetcher runs on its own thread, not a pool worker, so
   // overlap engages even for a 1-thread engine (production still hides
@@ -635,13 +676,13 @@ StreamStats VerdictEngine::run_stream(
 
     // ---- Cross-chunk dedup, two phases.
     //
-    // Key phase (parallel): canonical-key computation — ~2/3 of a
-    // cache-hot stream's work and embarrassingly parallel — fans out
-    // across the pool in contiguous ranges, each worker reusing one
-    // KeyScratch (no per-test string allocation), claiming hashes in
-    // the sharded set as it goes.  The canonical filter builds each
-    // test's Analysis for its key and hands it to the batch below, so
-    // a novel test is analyzed exactly once per stream.
+    // Key phase (parallel): fingerprint computation fans out across the
+    // pool in contiguous ranges, each worker reusing one KeyScratch.
+    // litmus::canonical_fingerprint hashes the canonicalized event walk
+    // directly — no Analysis, no key string, no per-test allocation —
+    // and the 128-bit digest is claimed in the sharded set as it goes.
+    // Only audit mode still builds the Analysis and the legacy string
+    // key per test (handing novel analyses to the batch below).
     //
     // Resolve phase (serial, chunk order): a test is novel iff its key
     // is new to the stream and it holds the chunk's minimum index for
@@ -668,23 +709,29 @@ StreamStats VerdictEngine::run_stream(
         const std::size_t begin = n * r / tasks;
         const std::size_t end = n * (r + 1) / tasks;
         for (std::size_t i = begin; i < end; ++i) {
-          const std::string* key;
-          if (structural_filter) {
-            litmus::structural_key(chunk[i], scratch.best);
-            key = &scratch.best;
-          } else {
-            analyses[i] = std::make_unique<core::Analysis>(chunk[i].program());
-            key = &litmus::canonical_key(*analyses[i], chunk[i].outcome(),
-                                         scratch);
+          key_hashes[i] =
+              structural_filter
+                  ? litmus::structural_fingerprint(chunk[i])
+                  : litmus::canonical_fingerprint(chunk[i], scratch);
+          if (stream_options.audit_dedup_keys) {
+            // The legacy string key for the cross-check; the canonical
+            // flavor needs the Analysis the fingerprint skipped, which
+            // is handed to the batch below so novel tests are not
+            // re-analyzed.
+            if (structural_filter) {
+              litmus::structural_key(chunk[i], scratch.best);
+              full_keys[i] = scratch.best;
+            } else {
+              analyses[i] =
+                  std::make_unique<core::Analysis>(chunk[i].program());
+              full_keys[i] = litmus::canonical_key(*analyses[i],
+                                                   chunk[i].outcome(), scratch);
+            }
           }
-          key_hashes[i] = util::hash128(*key);
-          if (stream_options.audit_dedup_keys) full_keys[i] = *key;
           dup_of_past[i] =
               seen->claim(key_hashes[i], static_cast<std::uint32_t>(i)) ? 1 : 0;
-          // A settled duplicate's analysis is dead weight: free it here
-          // in the worker, not after the whole chunk is keyed — on a
-          // 91%-duplicate stream this keeps the live analyses near the
-          // novel count instead of the chunk size.
+          // A settled duplicate's audit analysis is dead weight: free it
+          // here in the worker, not after the whole chunk is keyed.
           if (dup_of_past[i] != 0) analyses[i].reset();
         }
       };
@@ -701,13 +748,20 @@ StreamStats VerdictEngine::run_stream(
             dup_of_past[i] != 0 ||
             seen->owner(key_hashes[i]) != static_cast<std::uint32_t>(i);
         if (stream_options.audit_dedup_keys) {
+          // Both directions: a fingerprint maps to exactly one legacy
+          // key (no collision merges distinct classes) and a legacy key
+          // maps to exactly one fingerprint (no class is split).
           const auto it = audit.find(key_hashes[i]);
           if (it == audit.end()) {
+            MCMC_CHECK_MSG(
+                audit_reverse.emplace(full_keys[i], key_hashes[i]).second,
+                "canonical fingerprint split a key class: equal legacy "
+                "keys produced distinct fingerprints");
             audit.emplace(key_hashes[i], std::move(full_keys[i]));
           } else {
             MCMC_CHECK_MSG(it->second == full_keys[i],
-                           "128-bit dedup-key hash collision: two distinct "
-                           "canonical keys share a hash");
+                           "128-bit fingerprint collision: two distinct "
+                           "canonical keys share a fingerprint");
           }
         }
         if (duplicate) {
@@ -739,11 +793,11 @@ StreamStats VerdictEngine::run_stream(
       for (const int t : novel_idx) {
         for (int m = 0; m < num_models; ++m) requests.push_back({m, t});
       }
-      // When the stream filter deduped by canonical keys, the novel
-      // tests are canonically unique: no within-batch group could ever
-      // merge, so skip the batch cache layer instead of re-deriving
-      // every canonical key it would intern.  (A structural filter
-      // leaves canonical within-batch sharing worthwhile.)
+      // When the stream filter deduped by canonical fingerprints, the
+      // novel tests are canonically unique: no within-batch group could
+      // ever merge, so skip the batch cache layer instead of
+      // re-deriving every fingerprint it would intern.  (A structural
+      // filter leaves canonical within-batch sharing worthwhile.)
       const bool batch_cache =
           !stream_options.dedup_across_chunks || structural_filter;
       const auto flat =

@@ -5,12 +5,15 @@
 // for the whole repository: callers hand it a batch of (model, test)
 // cells and get back a packed verdict matrix, with the engine handling
 //
-//   * per-test Analysis construction, done once and shared across models,
+//   * per-test Analysis construction, done once per test that actually
+//     reaches evaluation and shared across models — deduplicated and
+//     cache-served tests never pay for one,
 //   * canonical-test deduplication: symmetric tests (thread-permuted,
 //     location-renamed) share verdicts through a persistent cache keyed
-//     by litmus::canonical_key — falling back to structural keys for
-//     models with custom predicates, whose semantics may observe raw
-//     thread/location identity,
+//     by litmus::canonical_fingerprint (128-bit, allocation-free;
+//     litmus::canonical_key is its audited string form) — falling back
+//     to structural fingerprints for models with custom predicates,
+//     whose semantics may observe raw thread/location identity,
 //   * the prepared-check fast path (core::PreparedTest): per-test rf
 //     enumeration and HbProblem skeletons built once and shared across
 //     every model and worker thread, with the model's must-not-reorder
@@ -43,6 +46,7 @@
 #include "engine/test_stream.h"
 #include "engine/thread_pool.h"
 #include "litmus/test.h"
+#include "util/hash128.h"
 
 namespace mcmc::engine {
 
@@ -96,6 +100,8 @@ struct EngineStats {
   std::size_t explicit_checks = 0; ///< checks decided by the explicit engine
   std::size_t sat_checks = 0;      ///< checks decided by the SAT engine
   std::size_t unique_analyses = 0; ///< Analysis constructions this batch
+                                   ///  (tests reaching evaluation only:
+                                   ///  dedup/cache hits build none)
 
   // Prepared-path accounting (zero when EngineOptions::prepared is off).
   std::size_t rf_enums_saved = 0;  ///< enumerate_read_from calls avoided
@@ -136,11 +142,14 @@ struct StreamOptions {
   /// Mutex stripes of the cross-chunk dedup set (rounded up to a power
   /// of two); 0 means the default (ShardedKeySet::kDefaultShards).
   int dedup_shards = 0;
-  /// Collision audit: additionally retain every class's full key string
-  /// and verify that equal 128-bit hashes always came from equal keys,
-  /// throwing on any collision.  This re-adds the O(classes x key
-  /// length) memory the hash-based dedup removed, so it is for tests
-  /// (the slow full-space run proves the matrix is collision-free), not
+  /// Fingerprint audit: additionally compute every test's legacy string
+  /// key (building the Analysis the fingerprint path skips) and verify,
+  /// both directions, that fingerprint equality coincides with string
+  /// key equality — a fingerprint collision between distinct keys or
+  /// two fingerprints for one key throws mid-stream.  This re-adds the
+  /// per-test Analysis plus O(classes x key length) memory the
+  /// fingerprint path removed, so it is for tests (the slow full-space
+  /// run proves the whole 5.16M-test matrix is collision-free), not
   /// production streams.
   bool audit_dedup_keys = false;
   /// Force structural dedup keys even when every streamed model is
@@ -161,7 +170,7 @@ struct StreamOptions {
 /// Per-stage wall time of the streaming pipeline.  `produce` is time
 /// spent inside the source's next_chunk — with overlap_production it
 /// runs concurrently with the other stages, so it is overlap, not
-/// critical path.  `keys` is the parallel canonical-key/claim phase,
+/// critical path.  `keys` is the parallel fingerprint/claim phase,
 /// `dedup` the serial chunk-order ownership resolution, `verdict` the
 /// batched evaluation plus delivery.
 struct StreamStageTimes {
@@ -238,16 +247,17 @@ class VerdictEngine {
   /// evaluates the `models` x chunk product for each, and invokes
   /// `on_chunk` (may be null) after every chunk.  With
   /// StreamOptions::dedup_across_chunks (the default), tests whose
-  /// canonical key appeared in an earlier chunk are counted as
-  /// duplicates and skipped — the dedup set stores 128-bit key hashes
-  /// (16 bytes per class, auditable via audit_dedup_keys), so the peak
-  /// resident set stays O(chunk size + unique classes) no matter how
-  /// long the stream runs.
+  /// canonical fingerprint appeared in an earlier chunk are counted as
+  /// duplicates and skipped — the dedup set stores the 128-bit
+  /// fingerprints directly (16 bytes per class, no Analysis and no key
+  /// string ever materialized; auditable via audit_dedup_keys), so the
+  /// peak resident set stays O(chunk size + unique classes) no matter
+  /// how long the stream runs.
   ///
   /// The run is a parallel pipeline: chunk production overlaps with
-  /// consumption (overlap_production), key computation fans out across
-  /// the work-stealing pool with per-worker key buffers, and claims go
-  /// to a mutex-striped shard set.  Streamed results are bit-for-bit
+  /// consumption (overlap_production), fingerprinting fans out across
+  /// the work-stealing pool with per-worker scratch tables, and claims
+  /// go to a mutex-striped shard set.  Streamed results are bit-for-bit
   /// deterministic under any thread count: chunk boundaries come from
   /// the single producer, within-chunk duplicate resolution picks the
   /// minimum index regardless of claim order, and novel tests, verdict
@@ -273,15 +283,15 @@ class VerdictEngine {
   [[nodiscard]] core::Engine resolve_backend(int num_events) const;
   WorkStealingPool& pool();
   /// run_batch with control over the cache layer.  `persist_verdicts`
-  /// gates the persistent-cache writes; `use_cache` false skips key
-  /// computation, interning, and lookups entirely — the streaming path
-  /// passes it for batches whose tests its canonical seen-key filter
-  /// already proved unique (no within-batch group could ever merge, so
-  /// re-deriving canonical keys would be pure overhead).
+  /// gates the persistent-cache writes; `use_cache` false skips
+  /// fingerprint computation, interning, and lookups entirely — the
+  /// streaming path passes it for batches whose tests its canonical
+  /// seen-key filter already proved unique (no within-batch group could
+  /// ever merge, so re-deriving fingerprints would be pure overhead).
   /// `premade_analyses`, when given, is aligned with `tests`; entries
   /// present are adopted (moved from) instead of re-analyzing — the
-  /// streaming dedup filter hands over the analyses it built for key
-  /// computation.
+  /// streaming audit mode hands over the analyses it built for the
+  /// legacy-key cross-check.
   [[nodiscard]] std::vector<char> run_batch_impl(
       const std::vector<core::MemoryModel>& models,
       const std::vector<litmus::LitmusTest>& tests,
@@ -298,9 +308,12 @@ class VerdictEngine {
   std::unique_ptr<WorkStealingPool> pool_;  // created on first parallel batch
 
   mutable std::mutex cache_mu_;
-  /// model key -> (test key -> verdict).  Two-level so a batch touches
-  /// each key string once (per class), not once per cell.
-  std::unordered_map<std::string, std::unordered_map<std::string, bool>>
+  /// model key -> (test fingerprint -> verdict).  Two-level so a batch
+  /// resolves each model key string once; the inner map is keyed by the
+  /// 128-bit canonical/structural fingerprint, so no per-test key
+  /// string is ever materialized or retained.
+  std::unordered_map<std::string,
+                     std::unordered_map<util::Key128, bool, util::Key128Hash>>
       cache_;
   /// Custom-predicate formulas are cache-keyed by their node address;
   /// retaining a copy pins the node so the address cannot be recycled

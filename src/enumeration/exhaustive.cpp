@@ -4,7 +4,6 @@
 #include <unordered_set>
 #include <utility>
 
-#include "core/analysis.h"
 #include "util/check.h"
 
 namespace mcmc::enumeration {
@@ -58,9 +57,8 @@ bool ExhaustiveStream::start_next_program() {
     odometer_live_ = true;
 
     if (options_.track_program_classes) {
-      const core::Analysis analysis(program_);
-      program_classes_.insert(util::hash128(
-          litmus::canonical_key(analysis, core::Outcome{}, key_scratch_)));
+      program_classes_.insert(
+          litmus::canonical_fingerprint(program_, core::Outcome{}, key_scratch_));
     }
     return true;
   }
@@ -119,14 +117,13 @@ ReductionCounts measure_reduction(const ExhaustiveOptions& options) {
   tracked.track_program_classes = true;
   ExhaustiveStream stream(tracked);
 
-  // Classes are counted as 128-bit key hashes (run_stream's audit mode
-  // verifies hash-equality == key-equality on the same space).
+  // Classes are counted as 128-bit canonical fingerprints (run_stream's
+  // audit mode verifies fingerprint-equality == key-equality on the
+  // same space).
   std::unordered_set<util::Key128, util::Key128Hash> test_classes;
   litmus::KeyScratch scratch;
   engine::for_each_test(stream, [&](const litmus::LitmusTest& test) {
-    const core::Analysis analysis(test.program());
-    test_classes.insert(
-        util::hash128(litmus::canonical_key(analysis, test.outcome(), scratch)));
+    test_classes.insert(litmus::canonical_fingerprint(test, scratch));
   });
 
   ReductionCounts counts;

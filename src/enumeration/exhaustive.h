@@ -41,8 +41,8 @@ struct ExhaustiveOptions {
   /// filter); the full naive space keeps them.
   bool communicating_only = false;
   /// Compute the canonical program-class count while streaming (one
-  /// litmus::canonical_key per *program*, not per test); read it back
-  /// via ExhaustiveStream::canonical_programs.
+  /// litmus::canonical_fingerprint per *program*, not per test); read
+  /// it back via ExhaustiveStream::canonical_programs.
   bool track_program_classes = false;
 };
 
@@ -105,9 +105,9 @@ class ExhaustiveStream final : public engine::TestSource {
   std::vector<int> odometer_;                // current outcome assignment
   bool odometer_live_ = false;
 
-  // Canonical program classes as 128-bit key hashes (16 bytes per class
-  // instead of the full key string; see util/hash128.h for the
-  // collision margin) with a reusable key buffer.
+  // Canonical program classes as 128-bit canonical fingerprints (16
+  // bytes per class, computed without Analysis or key strings; see
+  // util/hash128.h for the collision margin) with reusable scratch.
   std::unordered_set<util::Key128, util::Key128Hash> program_classes_;
   litmus::KeyScratch key_scratch_;
 };

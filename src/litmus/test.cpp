@@ -1,11 +1,25 @@
 #include "litmus/test.h"
 
 #include <algorithm>
+#include <charconv>
 #include <map>
 #include <numeric>
 #include <set>
 
 namespace mcmc::litmus {
+
+namespace {
+
+/// Appends the decimal rendering of `v` in place — no intermediate
+/// std::string (the keys below are computed millions of times per
+/// streamed run).
+void append_int(std::string& out, long long v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
 
 std::string LitmusTest::to_string() const {
   std::string out = "Test " + name_;
@@ -28,18 +42,27 @@ void structural_key(const LitmusTest& test, std::string& key) {
     key += '|';
     for (const auto& instr : thread) {
       key += ';';
-      key += std::to_string(static_cast<int>(instr.op));
-      key += ',' + std::to_string(instr.loc);
-      key += ',' + std::to_string(instr.addr_reg);
-      key += ',' + std::to_string(instr.dst);
-      key += ',' + std::to_string(instr.src);
-      key += ',' + std::to_string(instr.value);
-      key += ',' + std::to_string(static_cast<int>(instr.value_from_reg));
+      append_int(key, static_cast<int>(instr.op));
+      key += ',';
+      append_int(key, instr.loc);
+      key += ',';
+      append_int(key, instr.addr_reg);
+      key += ',';
+      append_int(key, instr.dst);
+      key += ',';
+      append_int(key, instr.src);
+      key += ',';
+      append_int(key, instr.value);
+      key += ',';
+      append_int(key, static_cast<int>(instr.value_from_reg));
     }
   }
   key += '#';
   for (const auto& [reg, value] : test.outcome().constraints()) {
-    key += std::to_string(reg) + '=' + std::to_string(value) + ';';
+    append_int(key, reg);
+    key += '=';
+    append_int(key, value);
+    key += ';';
   }
 }
 
@@ -155,7 +178,8 @@ const std::string& canonical_key(const core::Analysis& analysis,
                                  const core::Outcome& outcome,
                                  KeyScratch& scratch) {
   const int num_threads = analysis.program().num_threads();
-  std::vector<int> perm(static_cast<std::size_t>(num_threads));
+  auto& perm = scratch.perm;
+  perm.resize(static_cast<std::size_t>(num_threads));
   std::iota(perm.begin(), perm.end(), 0);
 
   serialize_permuted(analysis, outcome, perm, scratch.best);
@@ -182,6 +206,200 @@ std::string canonical_key(const core::Analysis& analysis,
 std::string canonical_key(const LitmusTest& test) {
   const core::Analysis analysis(test.program());
   return canonical_key(analysis, test.outcome());
+}
+
+namespace {
+
+// Word tags of the fingerprint serialization (low byte of each event
+// word).  Distinct tags frame the stream exactly as serialize_permuted's
+// punctuation does, so the word sequence is an injective encoding of
+// the same canonicalized content: equal sequences <=> equal legacy
+// serializations.
+constexpr std::uint64_t kFpThread = 1;      // + thread length << 8
+constexpr std::uint64_t kFpRead = 2;        // + loc << 8, value << 32
+constexpr std::uint64_t kFpWrite = 3;       // + loc << 8, value << 32
+constexpr std::uint64_t kFpFence = 4;
+constexpr std::uint64_t kFpBranch = 5;
+constexpr std::uint64_t kFpDep = 6;         // unconstrained DepConst
+constexpr std::uint64_t kFpDepConstrained = 7;  // + 2 raw value words
+constexpr std::uint64_t kFpUndefReg = 8;    // + 2 raw tail words
+/// Sentinel for "unconstrained read" in the 32-bit value field — never
+/// collides with canonical value ids, which are bounded by the event
+/// count.
+constexpr std::uint64_t kFpNoValue = 0xFFFFFFFFULL;
+
+std::uint64_t raw_word(long long v) { return static_cast<std::uint64_t>(v); }
+
+/// Hashes the resolved events with threads taken in `perm` order —
+/// the word-stream image of serialize_permuted: same walk, same
+/// first-appearance location relabeling, same per-location value
+/// relabeling with 0 pinned (see serialize_permuted's commentary for
+/// why that canonicalization is verdict-preserving).
+util::Key128 fingerprint_permuted(const core::KeyFacts& facts,
+                                  const core::Outcome& outcome,
+                                  const std::vector<int>& perm,
+                                  KeyScratch& scratch) {
+  ++scratch.generation;
+  scratch.values.clear();
+  int next_loc = 0;
+  const auto canon_loc = [&](core::Loc loc) -> std::uint64_t {
+    const auto s = static_cast<std::size_t>(loc);
+    if (s >= scratch.loc_gen.size()) {
+      scratch.loc_gen.resize(s + 1, 0);
+      scratch.loc_id.resize(s + 1, 0);
+    }
+    if (scratch.loc_gen[s] != scratch.generation) {
+      scratch.loc_gen[s] = scratch.generation;
+      scratch.loc_id[s] = next_loc++;
+    }
+    return static_cast<std::uint64_t>(scratch.loc_id[s]);
+  };
+  // (canonical location, raw value) -> id in first-appearance order,
+  // 1-based with 0 pinned.  Linear scan: a test touches a handful of
+  // distinct (loc, value) pairs, and the list reuses its capacity.
+  const auto canon_value = [&](std::uint64_t loc, int value) -> std::uint64_t {
+    if (value == 0) return 0;
+    for (std::size_t k = 0; k < scratch.values.size(); ++k) {
+      if (scratch.values[k].loc == loc && scratch.values[k].value == value) {
+        return k + 1;
+      }
+    }
+    scratch.values.push_back({loc, value});
+    return scratch.values.size();
+  };
+
+  util::Hash128Stream h;
+  for (const int t : perm) {
+    const int len = facts.thread_len(t);
+    h.absorb(kFpThread | (static_cast<std::uint64_t>(len) << 8));
+    for (int i = 0; i < len; ++i) {
+      const auto& ev = facts.event(t, i);
+      switch (ev.op) {
+        case core::Op::Read: {
+          const std::uint64_t loc = canon_loc(ev.loc);
+          std::uint64_t val = kFpNoValue;
+          if (ev.dst >= 0) {
+            if (const auto req = outcome.required(ev.dst)) {
+              val = canon_value(loc, *req);
+            }
+          }
+          h.absorb(kFpRead | (loc << 8) | (val << 32));
+          break;
+        }
+        case core::Op::Write: {
+          const std::uint64_t loc = canon_loc(ev.loc);
+          h.absorb(kFpWrite | (loc << 8) | (canon_value(loc, ev.value) << 32));
+          break;
+        }
+        case core::Op::Fence:
+          h.absorb(kFpFence);
+          break;
+        case core::Op::Branch:
+          h.absorb(kFpBranch);
+          break;
+        case core::Op::DepConst:
+          // Raw constant and required value, exactly when the outcome
+          // constrains the defined register (serialize_permuted's
+          // 'v...q...' suffix); otherwise the constant is invisible.
+          if (ev.dst >= 0 && outcome.required(ev.dst)) {
+            h.absorb(kFpDepConstrained);
+            h.absorb(raw_word(ev.value));
+            h.absorb(raw_word(*outcome.required(ev.dst)));
+          } else {
+            h.absorb(kFpDep);
+          }
+          break;
+      }
+    }
+  }
+
+  // Within-thread dependency matrices in the same permuted order: per
+  // position, its data- and control-dependency source bits (the column
+  // serialize_permuted walks pair by pair).  Packing depends only on
+  // the thread length, which the kFpThread words already frame.
+  for (const int t : perm) {
+    const int len = facts.thread_len(t);
+    for (int j = 0; j < len; ++j) {
+      if (len <= 32) {
+        h.absorb(facts.data_dep_bits(t, j) |
+                 (facts.ctrl_dep_bits(t, j) << 32));
+      } else {
+        h.absorb(facts.data_dep_bits(t, j));
+        h.absorb(facts.ctrl_dep_bits(t, j));
+      }
+    }
+  }
+
+  // Outcome constraints on registers no event defines (raw, like the
+  // legacy '!' tail — they make the outcome unsatisfiable).
+  for (const auto& [reg, value] : outcome.constraints()) {
+    if (!facts.defines(reg)) {
+      h.absorb(kFpUndefReg);
+      h.absorb(raw_word(reg));
+      h.absorb(raw_word(value));
+    }
+  }
+  return h.finish();
+}
+
+}  // namespace
+
+util::Key128 canonical_fingerprint(const core::Program& program,
+                                   const core::Outcome& outcome,
+                                   KeyScratch& scratch) {
+  if (!scratch.facts.build(program)) {
+    // Outside the fast path (a thread longer than the 64-bit dependency
+    // masks).  The bail-out condition is invariant under thread
+    // permutation and renaming, so a canonical class lands entirely in
+    // one hash domain or the other — never split across both.
+    const core::Analysis analysis(program);
+    return util::hash128(canonical_key(analysis, outcome, scratch));
+  }
+  const int num_threads = scratch.facts.num_threads();
+  auto& perm = scratch.perm;
+  perm.resize(static_cast<std::size_t>(num_threads));
+  std::iota(perm.begin(), perm.end(), 0);
+
+  util::Key128 best = fingerprint_permuted(scratch.facts, outcome, perm, scratch);
+  // Minimum digest over the same permutation sweep as canonical_key
+  // (identity-only beyond 6 threads): the digest *set* is an orbit
+  // invariant, so min-equality decides class equality regardless of
+  // which permutation attains it.
+  if (num_threads <= 6) {
+    while (std::next_permutation(perm.begin(), perm.end())) {
+      const util::Key128 candidate =
+          fingerprint_permuted(scratch.facts, outcome, perm, scratch);
+      if (candidate < best) best = candidate;
+    }
+  }
+  return best;
+}
+
+util::Key128 canonical_fingerprint(const LitmusTest& test,
+                                   KeyScratch& scratch) {
+  return canonical_fingerprint(test.program(), test.outcome(), scratch);
+}
+
+util::Key128 structural_fingerprint(const LitmusTest& test) {
+  util::Hash128Stream h;
+  for (const auto& thread : test.program().threads()) {
+    h.absorb(kFpThread | (static_cast<std::uint64_t>(thread.size()) << 8));
+    for (const auto& instr : thread) {
+      h.absorb(static_cast<std::uint64_t>(static_cast<int>(instr.op)) |
+               (instr.value_from_reg ? 1ULL << 8 : 0));
+      h.absorb(raw_word(instr.loc));
+      h.absorb(raw_word(instr.addr_reg));
+      h.absorb(raw_word(instr.dst));
+      h.absorb(raw_word(instr.src));
+      h.absorb(raw_word(instr.value));
+    }
+  }
+  for (const auto& [reg, value] : test.outcome().constraints()) {
+    h.absorb(kFpUndefReg);
+    h.absorb(raw_word(reg));
+    h.absorb(raw_word(value));
+  }
+  return h.finish();
 }
 
 }  // namespace mcmc::litmus

@@ -5,12 +5,16 @@
 // model that answers no *forbids* the relaxation the test probes.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/analysis.h"
+#include "core/key_facts.h"
 #include "core/outcome.h"
 #include "core/program.h"
+#include "util/hash128.h"
 
 namespace mcmc::litmus {
 
@@ -53,13 +57,28 @@ class LitmusTest {
 /// holds one buffer instead of allocating per test.
 void structural_key(const LitmusTest& test, std::string& out);
 
-/// Reusable buffers for repeated canonical-key computation.  One
-/// KeyScratch per worker thread; the reference returned by the
-/// scratch-taking `canonical_key` overload points into it and is valid
-/// until the next call with the same scratch.
+/// Reusable buffers for repeated canonical-key / canonical-fingerprint
+/// computation.  One KeyScratch per worker thread; the reference
+/// returned by the scratch-taking `canonical_key` overload points into
+/// it and is valid until the next call with the same scratch.
 struct KeyScratch {
+  // Legacy string-key path (canonical_key).
   std::string best;
   std::string candidate;
+  std::vector<int> perm;
+
+  // Fingerprint path (canonical_fingerprint): resolved facts plus flat
+  // first-appearance relabeling tables, reset per permutation by
+  // generation counter so steady state performs no heap allocation.
+  core::KeyFacts facts;
+  std::vector<std::uint64_t> loc_gen;  // raw location -> stamp
+  std::vector<int> loc_id;             // raw location -> canonical id
+  struct LocValue {
+    std::uint64_t loc = 0;  // canonical location id
+    int value = 0;          // raw value
+  };
+  std::vector<LocValue> values;  // insertion-ordered (loc, value) pairs
+  std::uint64_t generation = 0;
 };
 
 /// Canonical semantic key over the *resolved* event structure: threads
@@ -88,5 +107,35 @@ struct KeyScratch {
 
 /// Convenience overload that analyzes `test.program()` internally.
 [[nodiscard]] std::string canonical_key(const LitmusTest& test);
+
+/// 128-bit canonical fingerprint: hashes the same serialization walk as
+/// `canonical_key` — permuted threads, locations relabeled by first
+/// appearance, values relabeled per location with 0 pinned, dependency
+/// matrices, undefined-register outcome tail — as fixed-width 64-bit
+/// words through util::Hash128Stream, taking the minimum digest over
+/// the same thread permutations, with no Analysis, no string, and (in
+/// steady state) no heap allocation.
+///
+/// Equality of fingerprints decides equality of canonical classes: for
+/// any injective serialization, the *set* of per-permutation digests is
+/// an orbit invariant, so two tests share a minimum digest iff they
+/// share an orbit (iff their canonical_key strings are equal) — up to
+/// 128-bit hash collisions, which StreamOptions::audit_dedup_keys
+/// cross-checks against the strings over the full streamed space.
+/// Programs outside core::KeyFacts' fast path (threads longer than 64
+/// instructions — a class-invariant condition) fall back to hashing the
+/// legacy string key.
+[[nodiscard]] util::Key128 canonical_fingerprint(const core::Program& program,
+                                                 const core::Outcome& outcome,
+                                                 KeyScratch& scratch);
+
+/// Convenience overload over a test's program and outcome.
+[[nodiscard]] util::Key128 canonical_fingerprint(const LitmusTest& test,
+                                                 KeyScratch& scratch);
+
+/// 128-bit digest of the structural identity (same equality classes as
+/// `structural_key`, up to hash collisions): raw instruction fields and
+/// outcome constraints, no canonicalization, no allocation.
+[[nodiscard]] util::Key128 structural_fingerprint(const LitmusTest& test);
 
 }  // namespace mcmc::litmus

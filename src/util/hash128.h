@@ -28,6 +28,12 @@ struct Key128 {
   friend bool operator!=(const Key128& a, const Key128& b) {
     return !(a == b);
   }
+  /// Lexicographic (hi, lo) order, so "minimum over thread
+  /// permutations" is well defined for fingerprints just as it is for
+  /// key strings.
+  friend bool operator<(const Key128& a, const Key128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
 };
 
 /// Hash functor for unordered containers keyed by Key128 (the value is
@@ -76,5 +82,36 @@ inline Key128 hash128(const char* data, std::size_t len) {
 inline Key128 hash128(const std::string& s) {
   return hash128(s.data(), s.size());
 }
+
+/// Incremental word-at-a-time variant of hash128 for callers that
+/// produce their content as a stream of 64-bit words instead of a
+/// byte buffer (litmus::canonical_fingerprint): same two-lane
+/// splitmix64 construction, no intermediate string.  Equal word
+/// sequences (length included — it is folded into the finish) give
+/// equal keys; this is a distinct domain from the byte-oriented
+/// hash128 overloads, which is fine because fingerprints and string
+/// hashes are never mixed in one dedup set.
+class Hash128Stream {
+ public:
+  void absorb(std::uint64_t w) {
+    h1_ = mix64(h1_ ^ w);
+    h2_ = mix64(h2_ + w + 0x165667b19e3779f9ULL);
+    ++words_;
+  }
+
+  [[nodiscard]] Key128 finish() const {
+    const std::uint64_t a = mix64(h1_ ^ (words_ * 0xff51afd7ed558ccdULL));
+    const std::uint64_t b = mix64(h2_ + words_);
+    Key128 out;
+    out.hi = mix64(a ^ b);
+    out.lo = mix64(b ^ out.hi);
+    return out;
+  }
+
+ private:
+  std::uint64_t h1_ = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t h2_ = 0xc2b2ae3d27d4eb4fULL;
+  std::uint64_t words_ = 0;
+};
 
 }  // namespace mcmc::util

@@ -1,18 +1,25 @@
-// Properties of the canonical-key machinery (litmus/test.h): keys are
-// invariant under the full symmetry group of a test — thread exchange,
-// location permutation, and per-location value renaming (fixing the
-// initial value 0) — and the canonical reduction pass over the naive
+// Properties of the canonical-key machinery (litmus/test.h): keys and
+// their 128-bit fingerprints are invariant under the full symmetry
+// group of a test — thread exchange, location permutation, and
+// per-location value renaming (fixing the initial value 0) — the
+// fingerprint induces exactly the same equivalence classes as the
+// legacy string key, and the canonical reduction pass over the naive
 // space agrees exactly with the shape-level reduction of count_naive on
 // the program level.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <map>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "enumeration/exhaustive.h"
 #include "enumeration/naive.h"
+#include "enumeration/suite.h"
+#include "litmus/catalog.h"
 #include "litmus/test.h"
+#include "util/hash128.h"
 #include "util/rng.h"
 
 namespace mcmc {
@@ -122,6 +129,144 @@ TEST(CanonicalProperty, KeyIsStableAndSymmetricPairsActuallyMerge) {
     const auto twin =
         reverse_values(swap_threads(permute_locations(test, {2, 0, 1})));
     EXPECT_EQ(litmus::canonical_key(twin), litmus::canonical_key(test));
+  }
+}
+
+TEST(CanonicalProperty, FingerprintInvariantUnderRandomSymmetryChains) {
+  // The fingerprint must absorb the same symmetry group as the string
+  // key: thread exchange, location permutation, per-location value
+  // renaming.
+  enumeration::NaiveOptions bounds;
+  const auto tests = enumeration::sample_naive_tests(bounds, 150, 4242);
+  util::Rng rng(99);
+  litmus::KeyScratch scratch;
+  std::vector<int> perm = {0, 1, 2};
+  for (const auto& test : tests) {
+    const util::Key128 fp = litmus::canonical_fingerprint(test, scratch);
+    LitmusTest current = test;
+    for (int step = 0; step < 4; ++step) {
+      switch (rng.below(3)) {
+        case 0: {
+          std::vector<int> p = perm;
+          for (std::size_t i = p.size(); i > 1; --i) {
+            std::swap(p[i - 1], p[rng.below(i)]);
+          }
+          current = permute_locations(current, p);
+          break;
+        }
+        case 1:
+          current = swap_threads(current);
+          break;
+        default:
+          current = reverse_values(current);
+          break;
+      }
+      EXPECT_EQ(litmus::canonical_fingerprint(current, scratch), fp)
+          << "after step " << step << "\noriginal:\n" << test.to_string()
+          << "transformed:\n" << current.to_string();
+    }
+  }
+}
+
+TEST(CanonicalProperty, FingerprintClassesMatchLegacyKeyClasses) {
+  // The differential heart of the fingerprint: over a corpus mixing
+  // naive-space samples (duplicate-rich tiny bounds included), the
+  // dependency-idiom suite, and the full hand-written catalog, the
+  // fingerprint partition must be exactly the canonical_key partition —
+  // same-key pairs share a fingerprint AND distinct-key pairs get
+  // distinct fingerprints.
+  std::vector<LitmusTest> corpus;
+  {
+    enumeration::NaiveOptions bounds;
+    for (auto& t : enumeration::sample_naive_tests(bounds, 250, 0xFACE)) {
+      corpus.push_back(std::move(t));
+    }
+    enumeration::NaiveOptions tiny;
+    tiny.num_locations = 1;
+    tiny.max_accesses_per_thread = 2;
+    tiny.fences = false;
+    for (auto& t : enumeration::sample_naive_tests(tiny, 150, 31337)) {
+      corpus.push_back(std::move(t));  // plenty of symmetric duplicates
+    }
+    for (auto& t : enumeration::corollary1_suite(true)) {
+      corpus.push_back(std::move(t));  // data/ctrl deps, indirect addresses
+    }
+    for (auto& t : litmus::full_catalog()) {
+      corpus.push_back(std::move(t));
+    }
+    // Twins of everything so far (thread swap + location rotation +
+    // value renaming), so the merge direction is exercised on every
+    // shape, not only where sampling happened to collide.  The rotation
+    // is sized to the test's own direct locations; tests with indirect
+    // addressing keep those resolved locations fixed, which merely
+    // makes the twin a different member of the corpus — the bijection
+    // check below does not depend on twins being symmetric images.
+    const std::size_t base = corpus.size();
+    for (std::size_t i = 0; i < base; ++i) {
+      int max_loc = 2;
+      for (const auto& thread : corpus[i].program().threads()) {
+        for (const auto& instr : thread) {
+          if (instr.is_memory_access() && instr.addr_reg < 0) {
+            max_loc = std::max(max_loc, instr.loc);
+          }
+        }
+      }
+      std::vector<int> rotation(static_cast<std::size_t>(max_loc) + 1);
+      for (std::size_t l = 0; l < rotation.size(); ++l) {
+        rotation[l] = static_cast<int>((l + 1) % rotation.size());
+      }
+      corpus.push_back(
+          reverse_values(swap_threads(permute_locations(corpus[i], rotation))));
+    }
+  }
+
+  litmus::KeyScratch scratch;
+  std::unordered_map<std::string, util::Key128> key_to_fp;
+  std::unordered_map<util::Key128, std::string, util::Key128Hash> fp_to_key;
+  for (const auto& test : corpus) {
+    const std::string key = litmus::canonical_key(test);
+    const util::Key128 fp = litmus::canonical_fingerprint(test, scratch);
+    // A reused scratch and a fresh one must agree (generation-counter
+    // reset correctness).
+    litmus::KeyScratch fresh;
+    EXPECT_EQ(litmus::canonical_fingerprint(test, fresh), fp)
+        << test.to_string();
+
+    const auto [k_it, k_new] = key_to_fp.emplace(key, fp);
+    EXPECT_EQ(k_it->second, fp)
+        << "equal keys, distinct fingerprints (class split):\n"
+        << test.to_string();
+    const auto [f_it, f_new] = fp_to_key.emplace(fp, key);
+    EXPECT_EQ(f_it->second, key)
+        << "distinct keys, equal fingerprints (class merge):\n"
+        << test.to_string();
+    EXPECT_EQ(k_new, f_new);
+  }
+  // The corpus must actually exercise both directions: many classes,
+  // and strictly fewer classes than tests (real merges happened).
+  EXPECT_GT(key_to_fp.size(), 100u);
+  EXPECT_LT(key_to_fp.size(), corpus.size());
+}
+
+TEST(CanonicalProperty, StructuralFingerprintMatchesStructuralKeyClasses) {
+  // structural_fingerprint must separate exactly what structural_key
+  // separates — in particular canonically-identical twins (thread
+  // swaps) stay structurally distinct.
+  enumeration::NaiveOptions bounds;
+  auto corpus = enumeration::sample_naive_tests(bounds, 200, 777);
+  const std::size_t base = corpus.size();
+  for (std::size_t i = 0; i < base; ++i) {
+    corpus.push_back(swap_threads(corpus[i]));
+  }
+  std::unordered_map<std::string, util::Key128> key_to_fp;
+  std::unordered_map<util::Key128, std::string, util::Key128Hash> fp_to_key;
+  for (const auto& test : corpus) {
+    const std::string key = litmus::structural_key(test);
+    const util::Key128 fp = litmus::structural_fingerprint(test);
+    const auto k_it = key_to_fp.emplace(key, fp).first;
+    EXPECT_EQ(k_it->second, fp) << test.to_string();
+    const auto f_it = fp_to_key.emplace(fp, key).first;
+    EXPECT_EQ(f_it->second, key) << test.to_string();
   }
 }
 

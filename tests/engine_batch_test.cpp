@@ -45,7 +45,10 @@ TEST(VerdictEngineBatch, MatchesPerCallVerdicts) {
     }
   }
   EXPECT_EQ(eng.last_stats().cells, models.size() * tests.size());
-  EXPECT_EQ(eng.last_stats().unique_analyses, tests.size());
+  // Analyses are built lazily, only for tests that reach evaluation:
+  // one per canonical class of the sample, never more than the batch.
+  EXPECT_GT(eng.last_stats().unique_analyses, 0u);
+  EXPECT_LE(eng.last_stats().unique_analyses, tests.size());
 }
 
 TEST(VerdictEngineBatch, SymmetricDuplicatesHitTheCache) {

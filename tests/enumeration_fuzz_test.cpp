@@ -4,8 +4,12 @@
 // naive space, for a cross-section of the model zoo.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "core/analysis.h"
 #include "core/checker.h"
+#include "engine/test_stream.h"
 #include "engine/verdict_engine.h"
 #include "enumeration/naive.h"
 #include "explore/space.h"
@@ -90,6 +94,34 @@ TEST(EnumerationFuzz, CacheAndDedupDoNotChangeVerdicts) {
   // A rerun on the same engine is served by the persistent cache.
   EXPECT_EQ(bits_cached, cached.run_matrix(models, tests));
   EXPECT_EQ(cached.last_stats().checks_run, 0u);
+}
+
+TEST(EnumerationFuzz, StreamFingerprintDedupMatchesLegacyKeyClasses) {
+  // The streamed dedup filter now runs on 128-bit canonical
+  // fingerprints with no Analysis and no key string; on a
+  // duplicate-rich sample its novel count must equal the number of
+  // distinct legacy canonical_key strings, and the built-in audit
+  // (which recomputes the strings and cross-checks both directions)
+  // must pass throughout.
+  enumeration::NaiveOptions bounds;
+  bounds.num_locations = 2;
+  bounds.max_accesses_per_thread = 2;
+  auto tests = enumeration::sample_naive_tests(bounds, 400, 0xBEEF);
+
+  std::set<std::string> legacy_classes;
+  for (const auto& test : tests) {
+    legacy_classes.insert(litmus::canonical_key(test));
+  }
+
+  const std::vector<core::MemoryModel> models = {models::sc(), models::tso()};
+  engine::VectorSource source(std::move(tests), 64);
+  engine::VerdictEngine eng;
+  engine::StreamOptions stream_options;
+  stream_options.audit_dedup_keys = true;
+  const auto stats = eng.run_stream(models, source, nullptr, stream_options);
+
+  EXPECT_EQ(stats.novel_tests, legacy_classes.size());
+  EXPECT_GT(stats.duplicate_tests, 0u);
 }
 
 }  // namespace
