@@ -30,6 +30,18 @@
 //                       stage breakdown, throughput, matrix outcome) as
 //                       JSON; BENCH_exhaustive.json in the repo root is
 //                       a committed snapshot of a full-space run
+//   --store FILE        persistent verdict store: verdicts load from and
+//                       commit to FILE (crash-safe; see README
+//                       "Persistence guarantees")
+//   --resume            continue an interrupted run from the checkpoint
+//                       in --store (no-op when none is present)
+//   --checkpoint-every N  seal a checkpoint every N chunks (default 64)
+//   --require-store-hit-rate R  exit nonzero unless the store served at
+//                       least fraction R of all probed verdict cells
+//                       (CI's warm-store regression gate)
+//   --kill-after-seals N  testing hook: abort the stream right after its
+//                       N-th checkpoint commit, leaving exactly the file
+//                       a SIGKILL would; rerun with --resume to continue
 //
 // With non-default bounds the streamed space is a strict sub-space, so
 // containment (naive <= suite) is checked instead of equality.
@@ -59,6 +71,11 @@ int main(int argc, char** argv) {
   long progress_every = 64;
   bool verify_serial = false;
   std::string json_path;
+  std::string store_path;
+  bool resume = false;
+  long checkpoint_every = 64;
+  double require_hit_rate = -1.0;
+  long kill_after_seals = -1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -100,12 +117,30 @@ int main(int argc, char** argv) {
       progress_every = v;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--store" && i + 1 < argc) {
+      store_path = argv[++i];
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--checkpoint-every" && int_arg(1, 1 << 20, v)) {
+      checkpoint_every = v;
+    } else if (arg == "--require-store-hit-rate" && i + 1 < argc) {
+      char* end = nullptr;
+      require_hit_rate = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || require_hit_rate < 0.0 ||
+          require_hit_rate > 1.0) {
+        std::fprintf(stderr, "bad hit rate '%s' (want [0, 1])\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--kill-after-seals" && int_arg(1, 1 << 20, v)) {
+      kill_after_seals = v;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--max-accesses N] [--locations N] [--no-fences]"
                    " [--chunk N] [--threads N] [--backend B] [--shards N]"
                    " [--no-filter] [--no-overlap] [--audit] [--verify-serial]"
-                   " [--progress N] [--json FILE]\n",
+                   " [--progress N] [--json FILE] [--store FILE] [--resume]"
+                   " [--checkpoint-every N] [--require-store-hit-rate R]"
+                   " [--kill-after-seals N]\n",
                    argv[0]);
       return 2;
     }
@@ -124,6 +159,30 @@ int main(int argc, char** argv) {
   std::vector<core::MemoryModel> models;
   for (const auto& c : space) models.push_back(c.to_model());
   engine::VerdictEngine eng(engine_options);
+
+  // ---- Persistent verdict store (optional). ----
+  const store::StoreMeta store_meta = explore::harness_store_meta(models);
+  const util::Key128 zoo_fp = store_meta.zoo_fingerprint();
+  std::unique_ptr<store::VerdictStore> vstore;
+  store::OpenOutcome store_outcome = store::OpenOutcome::Fresh;
+  store::StreamPersistence persistence;
+  if (!store_path.empty()) {
+    auto opened = store::VerdictStore::open(store_path, store_meta);
+    store_outcome = opened.outcome;
+    vstore = std::move(opened.store);
+    std::printf("store: %s -- %s, %zu entries%s%s\n", store_path.c_str(),
+                store::to_string(store_outcome).c_str(), vstore->size(),
+                opened.detail.empty() ? "" : ": ",
+                opened.detail.c_str());
+    eng.set_store(vstore.get());
+    harness.verdict_store = vstore.get();
+    persistence.path = store_path;
+    persistence.checkpoint_every_chunks = static_cast<int>(checkpoint_every);
+    persistence.resume = resume;
+    persistence.kill_after_seals = static_cast<int>(kill_after_seals);
+    harness.persistence = &persistence;
+  }
+
   const auto suite_nodep = enumeration::corollary1_suite(false);
   const auto suite_dep = enumeration::corollary1_suite(true);
   const auto by_suite_nodep = explore::distinguishability(eng, models, suite_nodep);
@@ -133,20 +192,28 @@ int main(int argc, char** argv) {
   enumeration::ExhaustiveStream stream(opts);
   explore::TheoremHarnessReport report;
   util::Timer timer;
-  const auto by_naive = explore::distinguishability_streamed(
-      eng, models, stream, harness, &report,
-      [&](const engine::StreamChunkStats& cs) {
-        if ((cs.index + 1) % static_cast<std::size_t>(progress_every) != 0) {
-          return;
-        }
-        std::printf("  chunk %5zu: streamed %zu novel %zu (dedup %.1f%%)"
-                    " engine[%s]\n",
-                    cs.index + 1, cs.streamed, cs.novel,
-                    cs.streamed > 0 ? 100.0 * static_cast<double>(cs.duplicates) /
-                                          static_cast<double>(cs.streamed)
-                                    : 0.0,
-                    cs.engine.to_string().c_str());
-      });
+  explore::DistinguishMatrix by_naive;
+  try {
+    by_naive = explore::distinguishability_streamed(
+        eng, models, stream, harness, &report,
+        [&](const engine::StreamChunkStats& cs) {
+          if ((cs.index + 1) % static_cast<std::size_t>(progress_every) != 0) {
+            return;
+          }
+          std::printf("  chunk %5zu: streamed %zu novel %zu (dedup %.1f%%)"
+                      " engine[%s]\n",
+                      cs.index + 1, cs.streamed, cs.novel,
+                      cs.streamed > 0 ? 100.0 * static_cast<double>(cs.duplicates) /
+                                            static_cast<double>(cs.streamed)
+                                      : 0.0,
+                      cs.engine.to_string().c_str());
+        });
+  } catch (const store::StreamInterrupted& interrupted) {
+    std::printf("\nstream interrupted by test hook: %s\n", interrupted.what());
+    std::printf("rerun with --store %s --resume to continue\n",
+                store_path.c_str());
+    return 3;
+  }
   const double wall = timer.seconds();
 
   std::printf("\nstream: %s\n", report.stream.to_string().c_str());
@@ -164,6 +231,19 @@ int main(int argc, char** argv) {
                 "(sweep %.1fs [%s])\n",
                 report.candidate_tests, report.filtered_tests,
                 report.sweep_seconds, report.sweep.to_string().c_str());
+  }
+  double store_hit_rate = 0.0;
+  if (vstore != nullptr) {
+    const std::uint64_t probed = vstore->hits() + vstore->misses();
+    store_hit_rate = probed > 0
+                         ? static_cast<double>(vstore->hits()) /
+                               static_cast<double>(probed)
+                         : 0.0;
+    std::printf("store: %zu entries, %llu/%llu probed cells served "
+                "(hit rate %.4f)\n",
+                vstore->size(),
+                static_cast<unsigned long long>(vstore->hits()),
+                static_cast<unsigned long long>(probed), store_hit_rate);
   }
   const double rss = bench::peak_rss_mb();
   if (rss >= 0) std::printf("peak RSS: %.1f MB\n", rss);
@@ -238,6 +318,11 @@ int main(int argc, char** argv) {
     serial_options.num_threads = 1;
     explore::TheoremHarnessOptions serial_harness = harness;
     serial_harness.stream.overlap_production = false;
+    // The guard proves the parallel pipeline deterministic by full
+    // recomputation — a store would let it serve answers instead of
+    // deriving them.
+    serial_harness.verdict_store = nullptr;
+    serial_harness.persistence = nullptr;
     engine::VerdictEngine serial_eng(serial_options);
     enumeration::ExhaustiveStream serial_stream(opts);
     util::Timer serial_timer;
@@ -255,6 +340,15 @@ int main(int argc, char** argv) {
     ok = ok && identical;
   }
 
+  // ---- The warm-store regression gate (CI reruns against the nightly
+  // artifact and requires >= 99% of probed cells served). ----
+  if (require_hit_rate >= 0.0) {
+    const bool enough = vstore != nullptr && store_hit_rate >= require_hit_rate;
+    std::printf("store hit-rate gate: %.4f >= %.4f: %s\n", store_hit_rate,
+                require_hit_rate, enough ? "holds" : "VIOLATED");
+    ok = ok && enough;
+  }
+
   // ---- Machine-readable summary (committed snapshots live in the repo
   // root as BENCH_exhaustive.json). ----
   if (!json_path.empty()) {
@@ -265,6 +359,10 @@ int main(int argc, char** argv) {
     }
     const auto& s = report.stream;
     std::fprintf(js, "{\n");
+    std::fprintf(js, "  \"schema_version\": 2,\n");
+    std::fprintf(js, "  \"zoo_fingerprint\": \"%016llx%016llx\",\n",
+                 static_cast<unsigned long long>(zoo_fp.hi),
+                 static_cast<unsigned long long>(zoo_fp.lo));
     std::fprintf(js,
                  "  \"bounds\": {\"max_accesses_per_thread\": %d, "
                  "\"num_locations\": %d, \"fences\": %s},\n",
@@ -298,6 +396,20 @@ int main(int argc, char** argv) {
                  harness.filter_extremes ? "true" : "false");
     std::fprintf(js, "  \"candidate_tests\": %zu,\n", report.candidate_tests);
     std::fprintf(js, "  \"sweep_seconds\": %.3f,\n", report.sweep_seconds);
+    if (vstore != nullptr) {
+      std::fprintf(js,
+                   "  \"store\": {\"path\": \"%s\", \"outcome\": \"%s\", "
+                   "\"resumed\": %s, \"entries\": %zu, \"hits\": %llu, "
+                   "\"misses\": %llu, \"hit_rate\": %.6f},\n",
+                   store_path.c_str(),
+                   store::to_string(store_outcome).c_str(),
+                   resume ? "true" : "false", vstore->size(),
+                   static_cast<unsigned long long>(vstore->hits()),
+                   static_cast<unsigned long long>(vstore->misses()),
+                   store_hit_rate);
+    } else {
+      std::fprintf(js, "  \"store\": null,\n");
+    }
     std::fprintf(js, "  \"distinguished_pairs\": {\"naive_stream\": %d, "
                  "\"suite_nodep\": %d, \"suite_dep\": %d},\n",
                  by_naive.distinguished_pairs(),

@@ -6,6 +6,11 @@
 //   $ ./litmus_runner --exhaustive 40       # first 40 naive-space tests
 //   $ ./litmus_runner --explain tests.lit   # also explain forbidden ones
 //   $ ./litmus_runner --stats tests.lit     # engine statistics on stderr
+//   $ ./litmus_runner --store FILE tests.lit # persistent verdict store:
+//                                           # verdicts load from / commit
+//                                           # to FILE (crash-safe; see
+//                                           # README "Persistence
+//                                           # guarantees")
 //
 // Prints the verdict of every named hardware model for each test, plus a
 // witness execution order when the outcome is allowed; with --explain,
@@ -21,6 +26,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "core/analysis.h"
@@ -31,6 +37,7 @@
 #include "litmus/catalog.h"
 #include "litmus/parser.h"
 #include "models/zoo.h"
+#include "store/verdict_store.h"
 #include "util/table.h"
 
 namespace {
@@ -87,6 +94,7 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool stats = false;
   long exhaustive = 0;
+  std::string store_path;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -94,6 +102,8 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--store" && i + 1 < argc) {
+      store_path = argv[++i];
     } else if (arg == "--exhaustive" && i + 1 < argc) {
       exhaustive = std::strtol(argv[++i], nullptr, 10);
       if (exhaustive <= 0) {
@@ -144,10 +154,30 @@ int main(int argc, char** argv) {
 
     const auto models = models::all_named_models();
     engine::VerdictEngine eng;
+    // Optional persistent store: verdicts computed on earlier runs are
+    // served from disk, and this run's are committed back (atomically;
+    // a corrupt or stale file self-invalidates and everything is simply
+    // recomputed).
+    std::unique_ptr<store::VerdictStore> vstore;
+    if (!store_path.empty()) {
+      auto opened = store::VerdictStore::open(
+          store_path, store::StoreMeta::from_models(models));
+      std::fprintf(stderr, "[store %s: %s, %zu entries]\n", store_path.c_str(),
+                   store::to_string(opened.outcome).c_str(),
+                   opened.store->size());
+      vstore = std::move(opened.store);
+      eng.set_store(vstore.get());
+    }
     const auto verdicts = eng.run_matrix(models, tests);
     if (stats) {
       std::fprintf(stderr, "[engine %s]\n",
                    eng.last_stats().to_string().c_str());
+    }
+    if (vstore != nullptr) {
+      std::string error;
+      if (!vstore->save(store_path, nullptr, &error)) {
+        std::fprintf(stderr, "[store save failed: %s]\n", error.c_str());
+      }
     }
     for (std::size_t t = 0; t < tests.size(); ++t) {
       print_one(tests[t], models, verdicts, static_cast<int>(t), explain);

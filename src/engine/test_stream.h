@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -32,6 +33,26 @@ class TestSource {
   /// follow; the final call may both append a partial chunk and return
   /// false.
   virtual bool next_chunk(std::vector<litmus::LitmusTest>& out) = 0;
+
+  /// Serializes the position after the chunks delivered so far, as
+  /// opaque words: restoring this cursor into a freshly constructed
+  /// equivalent source re-delivers exactly the remaining suffix with
+  /// identical chunk boundaries (what stream checkpointing needs).
+  /// Sources that cannot checkpoint return false (the default).
+  [[nodiscard]] virtual bool snapshot_cursor(
+      std::vector<std::uint64_t>& out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Restores a snapshot_cursor() position; must be called before the
+  /// first next_chunk.  False if the words are not a valid cursor for
+  /// this source (the caller then restarts from scratch).
+  [[nodiscard]] virtual bool restore_cursor(
+      const std::vector<std::uint64_t>& cursor) {
+    (void)cursor;
+    return false;
+  }
 };
 
 /// Drains `source` to exhaustion, invoking `fn(test)` for every
@@ -99,7 +120,27 @@ class ChunkPrefetcher final : public TestSource {
       for (auto& test : item.tests) out.push_back(std::move(test));
     }
     last_produce_seconds_ = item.produce_seconds;
+    last_cursor_ = std::move(item.cursor);
+    last_cursor_valid_ = item.cursor_valid;
     return item.more;
+  }
+
+  /// The wrapped source's cursor as of the most recently *delivered*
+  /// chunk — captured by the producer right after materializing it, so
+  /// prefetched-ahead chunks never leak into the snapshot.
+  [[nodiscard]] bool snapshot_cursor(
+      std::vector<std::uint64_t>& out) const override {
+    if (!last_cursor_valid_) return false;
+    out = last_cursor_;
+    return true;
+  }
+
+  /// Restore through the wrapped source before constructing the
+  /// prefetcher (its producer thread starts pulling immediately).
+  [[nodiscard]] bool restore_cursor(
+      const std::vector<std::uint64_t>& cursor) override {
+    (void)cursor;
+    return false;
   }
 
   /// Time the producer spent inside the wrapped source's next_chunk for
@@ -114,6 +155,8 @@ class ChunkPrefetcher final : public TestSource {
     std::vector<litmus::LitmusTest> tests;
     bool more = false;
     double produce_seconds = 0.0;
+    std::vector<std::uint64_t> cursor;  // source position after this chunk
+    bool cursor_valid = false;
   };
 
   void produce() {
@@ -122,6 +165,7 @@ class ChunkPrefetcher final : public TestSource {
       util::Timer timer;
       try {
         item.more = source_.next_chunk(item.tests);
+        item.cursor_valid = source_.snapshot_cursor(item.cursor);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu_);
         error_ = std::current_exception();
@@ -155,6 +199,8 @@ class ChunkPrefetcher final : public TestSource {
   bool stop_ = false;   // destructor: abandon production
   std::exception_ptr error_;
   double last_produce_seconds_ = 0.0;
+  std::vector<std::uint64_t> last_cursor_;
+  bool last_cursor_valid_ = false;
 };
 
 /// Adapter presenting an in-memory corpus as a chunked stream (tests
@@ -170,6 +216,19 @@ class VectorSource final : public TestSource {
                                             : tests_.size();
     for (; next_ < end; ++next_) out.push_back(std::move(tests_[next_]));
     return next_ < tests_.size();
+  }
+
+  [[nodiscard]] bool snapshot_cursor(
+      std::vector<std::uint64_t>& out) const override {
+    out = {next_};
+    return true;
+  }
+
+  [[nodiscard]] bool restore_cursor(
+      const std::vector<std::uint64_t>& cursor) override {
+    if (cursor.size() != 1 || cursor[0] > tests_.size()) return false;
+    next_ = static_cast<std::size_t>(cursor[0]);
+    return true;
   }
 
  private:

@@ -1,5 +1,6 @@
 #include "engine/verdict_engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <optional>
 #include <sstream>
@@ -7,6 +8,7 @@
 
 #include "core/analysis.h"
 #include "engine/sharded_key_set.h"
+#include "store/verdict_store.h"
 #include "util/check.h"
 #include "util/hash128.h"
 #include "util/timer.h"
@@ -43,6 +45,8 @@ EngineStats& EngineStats::operator+=(const EngineStats& other) {
   checks_run += other.checks_run;
   cache_hits += other.cache_hits;
   dedup_hits += other.dedup_hits;
+  store_hits += other.store_hits;
+  store_misses += other.store_misses;
   explicit_checks += other.explicit_checks;
   sat_checks += other.sat_checks;
   unique_analyses += other.unique_analyses;
@@ -58,8 +62,11 @@ EngineStats& EngineStats::operator+=(const EngineStats& other) {
 std::string EngineStats::to_string() const {
   std::ostringstream os;
   os << "cells=" << cells << " checks=" << checks_run
-     << " cache_hits=" << cache_hits << " dedup_hits=" << dedup_hits
-     << " backends=explicit:" << explicit_checks << "/sat:" << sat_checks
+     << " cache_hits=" << cache_hits << " dedup_hits=" << dedup_hits;
+  if (store_hits + store_misses > 0) {
+    os << " store_hits=" << store_hits << "/" << (store_hits + store_misses);
+  }
+  os << " backends=explicit:" << explicit_checks << "/sat:" << sat_checks
      << " analyses=" << unique_analyses
      << " rf_enums_saved=" << rf_enums_saved
      << " skeletons_reused=" << skeletons_reused
@@ -134,6 +141,15 @@ std::vector<char> VerdictEngine::run_batch_impl(
     std::vector<std::unique_ptr<core::Analysis>>* premade_analyses) {
   util::Timer timer;
   const bool cache_enabled = options_.cache_enabled && use_cache;
+  // Batch-level store participation: probing is sound only for
+  // canonical test classes, and the stream fast path (use_cache off)
+  // consults the store itself at stream level, so it is excluded here
+  // the same way the cache is.
+  store::VerdictStore* const vstore =
+      use_cache && options_.canonical_dedup ? store_ : nullptr;
+  // The grouping/fingerprint layer runs for either consumer: the
+  // in-memory cache, the on-disk store, or both.
+  const bool grouped = cache_enabled || vstore != nullptr;
   EngineStats stats;
   stats.cells = requests.size();
   std::vector<char> results(requests.size(), 0);
@@ -201,8 +217,8 @@ std::vector<char> VerdictEngine::run_batch_impl(
     }
   }
 
-  const bool need_canonical = cache_enabled && any_canonical;
-  const bool need_structural = cache_enabled && any_structural;
+  const bool need_canonical = grouped && any_canonical;
+  const bool need_structural = grouped && any_structural;
 
   // ---- Test fingerprints.  128-bit canonical/structural fingerprints
   // (litmus::canonical_fingerprint) are all the cache layer needs: no
@@ -254,7 +270,7 @@ std::vector<char> VerdictEngine::run_batch_impl(
   std::vector<int> structural_class(tests.size(), -1);
   std::vector<const std::string*> model_class_key;
   std::vector<util::Key128> test_class_key;
-  if (cache_enabled) {
+  if (grouped) {
     std::unordered_map<std::string, int> model_interner;
     std::unordered_map<util::Key128, int, util::Key128Hash> test_interner;
     const auto intern_test = [&](const util::Key128& key) {
@@ -298,9 +314,19 @@ std::vector<char> VerdictEngine::run_batch_impl(
     bool result = false;
     std::vector<std::size_t> slots;
   };
+  // Store columns per model class, resolved once (|-1| = no column:
+  // custom-predicate keys, or models outside the store's zoo).
+  std::vector<int> store_cols;
+  if (vstore != nullptr) {
+    store_cols.resize(model_class_key.size());
+    for (std::size_t c = 0; c < model_class_key.size(); ++c) {
+      store_cols[c] = vstore->column_of(*model_class_key[c]);
+    }
+  }
+
   std::vector<Job> jobs;       // from_cache groups stay here too
   std::size_t live_jobs = 0;   // groups that actually need evaluation
-  if (cache_enabled) {
+  if (grouped) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     // Per model class, its persistent-cache bucket (looked up once).
     std::vector<const std::unordered_map<util::Key128, bool, util::Key128Hash>*>
@@ -339,21 +365,39 @@ std::vector<char> VerdictEngine::run_batch_impl(
       job.test_cls = test_cls;
       job.slots.push_back(i);
       // One persistent-cache probe per new group.
-      if (!bucket_ready[static_cast<std::size_t>(model_cls)]) {
-        const auto bucket =
-            cache_.find(*model_class_key[static_cast<std::size_t>(model_cls)]);
-        buckets[static_cast<std::size_t>(model_cls)] =
-            bucket == cache_.end() ? nullptr : &bucket->second;
-        bucket_ready[static_cast<std::size_t>(model_cls)] = 1;
+      if (cache_enabled) {
+        if (!bucket_ready[static_cast<std::size_t>(model_cls)]) {
+          const auto bucket = cache_.find(
+              *model_class_key[static_cast<std::size_t>(model_cls)]);
+          buckets[static_cast<std::size_t>(model_cls)] =
+              bucket == cache_.end() ? nullptr : &bucket->second;
+          bucket_ready[static_cast<std::size_t>(model_cls)] = 1;
+        }
+        const auto* bucket = buckets[static_cast<std::size_t>(model_cls)];
+        if (bucket != nullptr) {
+          const auto hit =
+              bucket->find(test_class_key[static_cast<std::size_t>(test_cls)]);
+          if (hit != bucket->end()) {
+            job.from_cache = true;
+            job.result = hit->second;
+            ++stats.cache_hits;
+          }
+        }
       }
-      const auto* bucket = buckets[static_cast<std::size_t>(model_cls)];
-      if (bucket != nullptr) {
-        const auto hit =
-            bucket->find(test_class_key[static_cast<std::size_t>(test_cls)]);
-        if (hit != bucket->end()) {
-          job.from_cache = true;
-          job.result = hit->second;
-          ++stats.cache_hits;
+      // Cache miss: one on-disk store probe per new group (canonical
+      // test classes only — custom-model groups have no column).
+      if (!job.from_cache && vstore != nullptr && !mk.custom) {
+        const int col = store_cols[static_cast<std::size_t>(model_cls)];
+        if (col >= 0) {
+          const auto hit = vstore->probe_bit(
+              test_class_key[static_cast<std::size_t>(test_cls)], col);
+          if (hit.has_value()) {
+            job.from_cache = true;
+            job.result = *hit;
+            ++stats.store_hits;
+          } else {
+            ++stats.store_misses;
+          }
         }
       }
       if (!job.from_cache) ++live_jobs;
@@ -366,20 +410,20 @@ std::vector<char> VerdictEngine::run_batch_impl(
   // Compact the evaluation list: indices of jobs needing a real check
   // (cache path only; the direct path evaluates requests in place).
   std::vector<std::size_t> pending;
-  if (cache_enabled) {
+  if (grouped) {
     pending.reserve(live_jobs);
     for (std::size_t j = 0; j < jobs.size(); ++j) {
       if (!jobs[j].from_cache) pending.push_back(j);
     }
   }
-  const std::size_t live_checks = cache_enabled ? pending.size() : live_jobs;
+  const std::size_t live_checks = grouped ? pending.size() : live_jobs;
 
   // ---- Analyses, now that the cache has spoken: built only for the
   // tests some live job evaluates.  With the fingerprints above coming
   // from core::KeyFacts, a dedup- or cache-served test never constructs
   // an Analysis at all. ----
   std::vector<int> eval_tests;
-  if (cache_enabled) {
+  if (grouped) {
     std::vector<char> evaluated(tests.size(), 0);
     for (const auto j : pending) {
       evaluated[static_cast<std::size_t>(jobs[j].test)] = 1;
@@ -424,7 +468,7 @@ std::vector<char> VerdictEngine::run_batch_impl(
   std::vector<std::atomic<std::uint32_t>> checks_left(
       prepared_path ? tests.size() : 0);
   if (prepared_path) {
-    if (cache_enabled) {
+    if (grouped) {
       for (const auto j : pending) {
         checks_left[static_cast<std::size_t>(jobs[j].test)].fetch_add(
             1, std::memory_order_relaxed);
@@ -485,7 +529,7 @@ std::vector<char> VerdictEngine::run_batch_impl(
     return result;
   };
   const auto evaluate = [&](std::size_t k) {
-    if (cache_enabled) {
+    if (grouped) {
       Job& job = jobs[pending[k]];
       job.result = run_check(job.model, job.test);
     } else {
@@ -527,6 +571,19 @@ std::vector<char> VerdictEngine::run_batch_impl(
       cache_[*model_class_key[static_cast<std::size_t>(job.model_cls)]]
           .emplace(test_class_key[static_cast<std::size_t>(job.test_cls)],
                    job.result);
+    }
+  }
+  // Feed the on-disk store: every grouped verdict with a column, cached
+  // or evaluated (rewriting a store-served bit is a no-op, and writing
+  // cache-served ones keeps a part-warm store converging on complete).
+  if (vstore != nullptr) {
+    for (const auto& job : jobs) {
+      if (model_keys[static_cast<std::size_t>(job.model)].custom) continue;
+      const int col = store_cols[static_cast<std::size_t>(job.model_cls)];
+      if (col >= 0) {
+        vstore->set_bit(test_class_key[static_cast<std::size_t>(job.test_cls)],
+                        col, job.result);
+      }
     }
   }
   for (const auto& job : jobs) {
@@ -627,6 +684,26 @@ StreamStats VerdictEngine::run_stream(
   const int threads = effective_threads();
   const bool dedup = stream_options.dedup_across_chunks;
 
+  // ---- Stream-level verdict store: a novel test whose full verdict
+  // row is on disk skips evaluation; evaluated rows are written back.
+  // Requires canonical dedup keys (the store holds canonical
+  // fingerprints only) and a store column for every swept model. ----
+  store::VerdictStore* const vstore = stream_options.verdict_store;
+  std::vector<int> store_cols;
+  bool stream_store = vstore != nullptr && dedup && !structural_filter;
+  if (stream_store) {
+    store_cols.reserve(models.size());
+    for (const auto& model : models) {
+      const int col = vstore->column_of(store::model_store_key(model));
+      if (col < 0) {
+        stream_store = false;
+        store_cols.clear();
+        break;
+      }
+      store_cols.push_back(col);
+    }
+  }
+
   // ---- Pipeline state.  The dedup set stores 128-bit key hashes in
   // mutex-striped shards; overlap runs the source in a producer thread
   // (ChunkPrefetcher) so materialization hides behind evaluation.  All
@@ -639,6 +716,35 @@ StreamStats VerdictEngine::run_stream(
   // stream (see StreamOptions::audit_dedup_keys).
   std::unordered_map<util::Key128, std::string, util::Key128Hash> audit;
   std::unordered_map<std::string, util::Key128> audit_reverse;
+
+  // ---- Checkpoint/resume.  Restoring happens before the prefetcher
+  // exists, directly on the raw source; both restore steps validate
+  // before mutating, so a failed resume degrades to streaming from
+  // scratch rather than diverging. ----
+  const store::StreamPersistence* const persist =
+      vstore != nullptr && stream_options.persistence != nullptr &&
+              !stream_options.persistence->path.empty()
+          ? stream_options.persistence
+          : nullptr;
+  int seals = 0;
+  int chunks_since_seal = 0;
+  if (persist != nullptr && persist->resume &&
+      vstore->checkpoint().has_value()) {
+    const store::StreamCheckpoint& ck = *vstore->checkpoint();
+    const bool sink_ok =
+        !persist->restore_sink || persist->restore_sink(ck.sink_state);
+    if (sink_ok && source.restore_cursor(ck.source_cursor)) {
+      if (seen) seen->seed(ck.seen_keys);
+      total.chunks = static_cast<std::size_t>(ck.chunks);
+      total.tests_streamed = static_cast<std::size_t>(ck.tests_streamed);
+      total.novel_tests = static_cast<std::size_t>(ck.novel_tests);
+      total.duplicate_tests = static_cast<std::size_t>(ck.duplicate_tests);
+    } else {
+      // Unusable checkpoint (source shape changed, or a sink that
+      // cannot adopt the state): drop it and recompute from scratch.
+      vstore->clear_checkpoint();
+    }
+  }
 
   // The prefetcher runs on its own thread, not a pool worker, so
   // overlap engages even for a 1-thread engine (production still hides
@@ -656,6 +762,8 @@ StreamStats VerdictEngine::run_stream(
   std::vector<char> dup_of_past;
   std::vector<std::string> full_keys;  // audit mode only
   std::vector<int> novel_idx;
+  std::vector<std::size_t> eval_pos;  // novel positions the store missed
+  std::vector<std::uint64_t> store_row;
 
   bool more = true;
   while (more) {
@@ -782,15 +890,39 @@ StreamStats VerdictEngine::run_stream(
 
     util::Timer verdict_timer;
 
-    // ---- Evaluate the chunk's novel tests in place (no moves yet:
-    // the analyses point into `chunk`'s programs). ----
+    // ---- Store probe: novel tests whose full verdict row is on disk
+    // are delivered straight from it; only the misses evaluate. ----
     BitMatrix verdicts(num_models, static_cast<int>(novel_idx.size()));
-    if (!novel_idx.empty()) {
+    eval_pos.clear();
+    if (stream_store) {
+      for (std::size_t k = 0; k < novel_idx.size(); ++k) {
+        const auto t = static_cast<std::size_t>(novel_idx[k]);
+        if (vstore->probe_row(key_hashes[t], store_cols, store_row)) {
+          for (int m = 0; m < num_models; ++m) {
+            if ((store_row[static_cast<std::size_t>(m) / 64] >>
+                 (static_cast<std::size_t>(m) % 64)) &
+                1ULL) {
+              verdicts.set(m, static_cast<int>(k), true);
+            }
+          }
+        } else {
+          eval_pos.push_back(k);
+        }
+      }
+    } else {
+      eval_pos.resize(novel_idx.size());
+      for (std::size_t k = 0; k < novel_idx.size(); ++k) eval_pos[k] = k;
+    }
+
+    // ---- Evaluate the chunk's store-missed novel tests in place (no
+    // moves yet: the analyses point into `chunk`'s programs). ----
+    if (!eval_pos.empty()) {
       std::vector<VerdictRequest> requests;
-      requests.reserve(static_cast<std::size_t>(num_models) * novel_idx.size());
+      requests.reserve(static_cast<std::size_t>(num_models) * eval_pos.size());
       // Test-major order: a test's |models| checks are adjacent, so its
       // prepared state is freed almost as soon as it is built.
-      for (const int t : novel_idx) {
+      for (const std::size_t k : eval_pos) {
+        const int t = novel_idx[k];
         for (int m = 0; m < num_models; ++m) requests.push_back({m, t});
       }
       // When the stream filter deduped by canonical fingerprints, the
@@ -805,12 +937,29 @@ StreamStats VerdictEngine::run_stream(
                          stream_options.persist_verdicts, batch_cache,
                          &analyses);
       std::size_t slot = 0;
-      for (std::size_t k = 0; k < novel_idx.size(); ++k) {
+      for (const std::size_t k : eval_pos) {
         for (int m = 0; m < num_models; ++m, ++slot) {
           if (flat[slot]) verdicts.set(m, static_cast<int>(k), true);
         }
       }
       cs.engine = last_stats_;
+      // Write the evaluated rows back so the next cold run (or the next
+      // process) serves them from disk.
+      if (stream_store) {
+        for (const std::size_t k : eval_pos) {
+          const auto t = static_cast<std::size_t>(novel_idx[k]);
+          for (int m = 0; m < num_models; ++m) {
+            vstore->set_bit(key_hashes[t], store_cols[static_cast<std::size_t>(m)],
+                            verdicts.get(m, static_cast<int>(k)));
+          }
+        }
+      }
+    }
+    if (stream_store) {
+      const std::size_t served = novel_idx.size() - eval_pos.size();
+      cs.engine.store_hits += served * static_cast<std::size_t>(num_models);
+      cs.engine.store_misses +=
+          eval_pos.size() * static_cast<std::size_t>(num_models);
     }
 
     // ---- Deliver: the novel tests move out of the chunk only after
@@ -828,6 +977,50 @@ StreamStats VerdictEngine::run_stream(
     total.stages += cs.stages;
     total.engine += cs.engine;
     if (on_chunk) on_chunk(novel, verdicts, cs);
+
+    // ---- Seal: every K chunks, snapshot the whole resumable state
+    // (cursor, dedup set, counters, sink) into the store and commit it
+    // atomically.  A failed save (full disk, failing fsync) is not
+    // fatal — the previous complete file stands and sealing retries
+    // after the next chunk. ----
+    if (persist != nullptr && more &&
+        ++chunks_since_seal >= persist->checkpoint_every_chunks &&
+        persist->checkpoint_every_chunks > 0) {
+      store::StreamCheckpoint ck;
+      if (input.snapshot_cursor(ck.source_cursor)) {
+        ck.chunks = total.chunks;
+        ck.tests_streamed = total.tests_streamed;
+        ck.novel_tests = total.novel_tests;
+        ck.duplicate_tests = total.duplicate_tests;
+        if (seen) {
+          seen->export_keys(ck.seen_keys);
+          // Flat-table slot order depends on claim interleaving; sort
+          // so equal dedup sets checkpoint identically.
+          std::sort(ck.seen_keys.begin(), ck.seen_keys.end());
+        }
+        if (persist->save_sink) persist->save_sink(ck.sink_state);
+        vstore->set_checkpoint(std::move(ck));
+        if (vstore->save(persist->path, persist->fs)) {
+          chunks_since_seal = 0;
+          ++seals;
+          if (persist->kill_after_seals >= 0 &&
+              seals >= persist->kill_after_seals) {
+            // The file is already committed: on-disk state is exactly a
+            // SIGKILL's right after the rename.
+            throw store::StreamInterrupted(
+                "stream killed by test hook after seal " +
+                std::to_string(seals));
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Completion: the checkpoint has served its purpose; commit the
+  // warm store without one so the next run starts clean. ----
+  if (persist != nullptr) {
+    vstore->clear_checkpoint();
+    (void)vstore->save(persist->path, persist->fs);
   }
   total.wall_seconds = timer.seconds();
   return total;

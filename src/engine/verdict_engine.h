@@ -48,6 +48,11 @@
 #include "litmus/test.h"
 #include "util/hash128.h"
 
+namespace mcmc::store {
+class VerdictStore;
+struct StreamPersistence;
+}  // namespace mcmc::store
+
 namespace mcmc::engine {
 
 /// Which admissibility decision procedure evaluates a cell.
@@ -97,6 +102,8 @@ struct EngineStats {
   std::size_t checks_run = 0;      ///< core::is_allowed invocations
   std::size_t cache_hits = 0;      ///< served by the persistent cache
   std::size_t dedup_hits = 0;      ///< shared within the batch via keys
+  std::size_t store_hits = 0;      ///< served by the attached verdict store
+  std::size_t store_misses = 0;    ///< store probes that found nothing
   std::size_t explicit_checks = 0; ///< checks decided by the explicit engine
   std::size_t sat_checks = 0;      ///< checks decided by the SAT engine
   std::size_t unique_analyses = 0; ///< Analysis constructions this batch
@@ -165,6 +172,18 @@ struct StreamOptions {
   /// seen-key filter above already provides cross-chunk sharing at
   /// O(unique tests) memory.
   bool persist_verdicts = false;
+  /// Persistent verdict store consulted per novel test (caller-owned,
+  /// may be null).  When every streamed model has a store column and
+  /// the stream dedups by canonical fingerprints, a test whose full
+  /// verdict row is present skips evaluation entirely and evaluated
+  /// rows are written back — this is what makes a warm rerun serve
+  /// from disk.  Ignored under structural keys (the store holds
+  /// canonical fingerprints only).
+  store::VerdictStore* verdict_store = nullptr;
+  /// Chunk-granular checkpoint/resume of the stream into
+  /// `verdict_store` (null = no checkpointing; requires
+  /// `verdict_store`).  See store::StreamPersistence.
+  const store::StreamPersistence* persistence = nullptr;
 };
 
 /// Per-stage wall time of the streaming pipeline.  `produce` is time
@@ -266,6 +285,16 @@ class VerdictEngine {
                          TestSource& source, const StreamChunkSink& on_chunk,
                          const StreamOptions& stream_options = {});
 
+  /// Attaches a persistent verdict store (caller-owned, may be null to
+  /// detach) consulted by every grouped batch: a (model, test-class)
+  /// pair missing the in-memory cache probes the store before
+  /// evaluating, and evaluated verdicts are written back.  Only models
+  /// with a store column (custom-free, see store::model_store_key)
+  /// participate, and only under canonical dedup — the store holds
+  /// canonical fingerprints exclusively.
+  void set_store(store::VerdictStore* store) { store_ = store; }
+  [[nodiscard]] store::VerdictStore* store() const { return store_; }
+
   /// Stats of the most recent batch.
   [[nodiscard]] const EngineStats& last_stats() const { return last_stats_; }
   /// Stats accumulated over the engine's lifetime.
@@ -306,6 +335,7 @@ class VerdictEngine {
 
   EngineOptions options_;
   std::unique_ptr<WorkStealingPool> pool_;  // created on first parallel batch
+  store::VerdictStore* store_ = nullptr;    // caller-owned, optional
 
   mutable std::mutex cache_mu_;
   /// model key -> (test fingerprint -> verdict).  Two-level so a batch

@@ -33,25 +33,9 @@ bool ExhaustiveStream::start_next_program() {
     ++program_index_;
     ++emitted_.programs;
 
-    // ---- Materialize the program and its read odometer. ----
-    std::map<int, int> values;
-    core::Reg next_reg = 0;
-    std::vector<core::Thread> threads;
-    threads.push_back(shapes::materialize(shapes_[a], values, next_reg));
-    threads.push_back(shapes::materialize(shapes_[b], values, next_reg));
-    program_ = core::Program(std::move(threads));
-
-    read_regs_.clear();
-    read_domain_.clear();
-    for (const auto& thread : program_.threads()) {
-      for (const auto& instr : thread) {
-        if (instr.op != core::Op::Read) continue;
-        read_regs_.push_back(instr.dst);
-        const auto written = values.find(instr.loc);
-        read_domain_.push_back(1 +
-                               (written == values.end() ? 0 : written->second));
-      }
-    }
+    cur_a_ = a;
+    cur_b_ = b;
+    build_program();
     odometer_.assign(read_regs_.size(), 0);
     outcome_index_ = 0;
     odometer_live_ = true;
@@ -63,6 +47,126 @@ bool ExhaustiveStream::start_next_program() {
     return true;
   }
   return false;
+}
+
+void ExhaustiveStream::build_program() {
+  // ---- Materialize the (cur_a_, cur_b_) program and its read
+  // odometer domains.  Deterministic in the pair alone, so a restored
+  // cursor re-derives the identical program. ----
+  std::map<int, int> values;
+  core::Reg next_reg = 0;
+  std::vector<core::Thread> threads;
+  threads.push_back(shapes::materialize(shapes_[cur_a_], values, next_reg));
+  threads.push_back(shapes::materialize(shapes_[cur_b_], values, next_reg));
+  program_ = core::Program(std::move(threads));
+
+  read_regs_.clear();
+  read_domain_.clear();
+  for (const auto& thread : program_.threads()) {
+    for (const auto& instr : thread) {
+      if (instr.op != core::Op::Read) continue;
+      read_regs_.push_back(instr.dst);
+      const auto written = values.find(instr.loc);
+      read_domain_.push_back(1 +
+                             (written == values.end() ? 0 : written->second));
+    }
+  }
+}
+
+namespace {
+constexpr std::uint64_t kCursorVersion = 1;
+}  // namespace
+
+bool ExhaustiveStream::snapshot_cursor(std::vector<std::uint64_t>& out) const {
+  out.clear();
+  out.push_back(kCursorVersion);
+  out.push_back((exhausted_ ? 1ULL : 0ULL) | (odometer_live_ ? 2ULL : 0ULL));
+  out.push_back(i_);
+  out.push_back(j_);
+  out.push_back(cur_a_);
+  out.push_back(cur_b_);
+  out.push_back(static_cast<std::uint64_t>(program_index_));
+  out.push_back(static_cast<std::uint64_t>(outcome_index_));
+  out.push_back(static_cast<std::uint64_t>(emitted_.programs));
+  out.push_back(static_cast<std::uint64_t>(emitted_.tests));
+  // The odometer only means anything while live (a finished program
+  // leaves it sized but dead); restore_cursor rejects a dead odometer
+  // with entries, so emit none.
+  out.push_back(odometer_live_ ? odometer_.size() : 0);
+  if (odometer_live_) {
+    for (const int v : odometer_) out.push_back(static_cast<std::uint64_t>(v));
+  }
+  out.push_back(program_classes_.size());
+  for (const auto& key : program_classes_) {
+    out.push_back(key.hi);
+    out.push_back(key.lo);
+  }
+  return true;
+}
+
+bool ExhaustiveStream::restore_cursor(
+    const std::vector<std::uint64_t>& cursor) {
+  const std::size_t n = shapes_.size();
+  // Validate the fixed-width prefix before touching any state.
+  if (cursor.size() < 11 || cursor[0] != kCursorVersion) return false;
+  const bool exhausted = (cursor[1] & 1ULL) != 0;
+  const bool live = (cursor[1] & 2ULL) != 0;
+  if (cursor[2] > n || cursor[3] >= (n == 0 ? 1 : n)) return false;
+  if (live && (cursor[4] >= n || cursor[5] >= n)) return false;
+  const std::uint64_t odo_len = cursor[10];
+  std::size_t pos = 11 + static_cast<std::size_t>(odo_len);
+  if (odo_len > cursor.size() || pos >= cursor.size()) return false;
+  const std::uint64_t class_count = cursor[pos];
+  if ((cursor.size() - pos - 1) != class_count * 2) return false;
+
+  i_ = static_cast<std::size_t>(cursor[2]);
+  j_ = static_cast<std::size_t>(cursor[3]);
+  cur_a_ = static_cast<std::size_t>(cursor[4]);
+  cur_b_ = static_cast<std::size_t>(cursor[5]);
+  exhausted_ = exhausted;
+  program_index_ = static_cast<long long>(cursor[6]);
+  outcome_index_ = static_cast<long long>(cursor[7]);
+  emitted_.programs = static_cast<long long>(cursor[8]);
+  emitted_.tests = static_cast<long long>(cursor[9]);
+  odometer_live_ = live;
+
+  const auto reject = [this] {
+    // A cursor inconsistent with this stream's shapes: reset to a fresh
+    // stream so the caller's from-scratch fallback is sound.
+    i_ = j_ = cur_a_ = cur_b_ = 0;
+    exhausted_ = false;
+    program_index_ = -1;
+    outcome_index_ = 0;
+    emitted_ = ExhaustiveCounts{};
+    odometer_live_ = false;
+    odometer_.clear();
+    program_classes_.clear();
+    return false;
+  };
+
+  if (live) {
+    build_program();
+    if (odo_len != read_regs_.size()) return reject();
+    odometer_.resize(read_regs_.size());
+    for (std::size_t k = 0; k < odometer_.size(); ++k) {
+      const std::uint64_t v = cursor[11 + k];
+      if (v >= static_cast<std::uint64_t>(read_domain_[k])) return reject();
+      odometer_[k] = static_cast<int>(v);
+    }
+  } else {
+    if (odo_len != 0) return reject();
+    odometer_.clear();
+  }
+
+  program_classes_.clear();
+  ++pos;  // past class_count
+  for (std::uint64_t c = 0; c < class_count; ++c) {
+    util::Key128 key;
+    key.hi = cursor[pos++];
+    key.lo = cursor[pos++];
+    program_classes_.insert(key);
+  }
+  return true;
 }
 
 bool ExhaustiveStream::next_chunk(std::vector<litmus::LitmusTest>& out) {

@@ -67,6 +67,21 @@ class ExhaustiveStream final : public engine::TestSource {
   /// final call may deliver a partial chunk).
   bool next_chunk(std::vector<litmus::LitmusTest>& out) override;
 
+  /// Serializes the full generator position — shape-pair cursor,
+  /// odometer, emitted counters, and (when tracked) the program-class
+  /// set — so a fresh stream with equal options resumes bit-for-bit:
+  /// same remaining tests, same chunk boundaries, same "x<p>.<o>"
+  /// names.
+  [[nodiscard]] bool snapshot_cursor(
+      std::vector<std::uint64_t>& out) const override;
+
+  /// Restores a snapshot; validates every field against this stream's
+  /// shape table before adopting it and resets to a fresh stream on
+  /// rejection, so a stale cursor (changed bounds) can only cause a
+  /// from-scratch run, never a diverged one.
+  [[nodiscard]] bool restore_cursor(
+      const std::vector<std::uint64_t>& cursor) override;
+
   [[nodiscard]] bool done() const;
   [[nodiscard]] const ExhaustiveCounts& emitted() const { return emitted_; }
   [[nodiscard]] const ExhaustiveOptions& options() const { return options_; }
@@ -95,6 +110,8 @@ class ExhaustiveStream final : public engine::TestSource {
 
   std::size_t i_ = 0;  ///< first-thread shape index
   std::size_t j_ = 0;  ///< second-thread shape index
+  std::size_t cur_a_ = 0;  ///< shape pair of the current program
+  std::size_t cur_b_ = 0;
   bool exhausted_ = false;
   long long program_index_ = -1;  ///< 0-based index of the current program
   long long outcome_index_ = 0;   ///< 0-based odometer position within it

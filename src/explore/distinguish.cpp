@@ -1,5 +1,7 @@
 #include "explore/distinguish.h"
 
+#include <algorithm>
+#include <cstring>
 #include <set>
 
 #include "core/formula.h"
@@ -13,6 +15,9 @@ namespace {
 std::size_t words_for(int num_models) {
   return (static_cast<std::size_t>(num_models) + 63) / 64;
 }
+
+/// Version word of the harness checkpoint-sink payload.
+constexpr std::uint64_t kSinkVersion = 1;
 
 }  // namespace
 
@@ -113,6 +118,40 @@ class ColumnFolder {
     }
   }
 
+  /// Appends [count, column words...] — std::set iterates in column
+  /// order, so equal fold states export identical words (the
+  /// checkpoint file stays bit-for-bit deterministic).
+  void export_state(std::vector<std::uint64_t>& out) const {
+    out.push_back(seen_.size());
+    for (const auto& column : seen_)
+      out.insert(out.end(), column.begin(), column.end());
+  }
+
+  /// Re-adopts an export_state image starting at data[pos].  The
+  /// matrix is a pure function of the folded-column set, so refolding
+  /// the columns reconstructs it exactly; no separate matrix
+  /// serialization exists to drift out of sync.
+  [[nodiscard]] bool restore_state(const std::vector<std::uint64_t>& data,
+                                   std::size_t& pos) {
+    const std::size_t w = words_for(num_models_);
+    if (w == 0 || pos >= data.size()) return false;
+    const std::uint64_t count = data[pos];
+    if (count > (data.size() - pos - 1) / w) return false;
+    ++pos;
+    std::vector<std::uint64_t> column(w);
+    for (std::uint64_t c = 0; c < count; ++c) {
+      std::copy(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                data.begin() + static_cast<std::ptrdiff_t>(pos + w),
+                column.begin());
+      pos += w;
+      if (seen_.insert(column).second) {
+        matrix_.fold_column(column);
+        ++columns_counter_;
+      }
+    }
+    return true;
+  }
+
  private:
   DistinguishMatrix& matrix_;
   int num_models_;
@@ -121,6 +160,18 @@ class ColumnFolder {
 };
 
 }  // namespace
+
+std::vector<core::MemoryModel> extreme_models() {
+  return {core::MemoryModel("weakest-class", core::f_false()),
+          core::MemoryModel("strongest-class", core::f_true())};
+}
+
+store::StoreMeta harness_store_meta(
+    const std::vector<core::MemoryModel>& models) {
+  std::vector<core::MemoryModel> all = extreme_models();
+  all.insert(all.end(), models.begin(), models.end());
+  return store::StoreMeta::from_models(all);
+}
 
 DistinguishMatrix distinguishability(
     engine::VerdictEngine& eng, const std::vector<core::MemoryModel>& models,
@@ -144,7 +195,57 @@ DistinguishMatrix distinguishability_streamed(
   rep = TheoremHarnessReport{};
   ColumnFolder folder(matrix, n, rep.verdict_columns);
 
+  // Checkpoint sink: the harness state a resumed run re-adopts is the
+  // distinct-column fold (the matrix is a pure function of it) plus the
+  // prefilter counters.  Layout: [version, n, candidate_tests,
+  // filtered_tests, sweep_seconds bits, count, columns...].  The hooks
+  // are installed over the caller's persistence copy — sink state is
+  // the harness's, not the caller's, to carry.
+  store::StreamPersistence persist;
+  const bool persisted =
+      options.persistence != nullptr && options.verdict_store != nullptr;
+  if (persisted) {
+    persist = *options.persistence;
+    persist.save_sink = [&rep, &folder, n](std::vector<std::uint64_t>& out) {
+      out.clear();
+      out.push_back(kSinkVersion);
+      out.push_back(static_cast<std::uint64_t>(n));
+      out.push_back(rep.candidate_tests);
+      out.push_back(rep.filtered_tests);
+      std::uint64_t seconds_bits = 0;
+      std::memcpy(&seconds_bits, &rep.sweep_seconds, sizeof seconds_bits);
+      out.push_back(seconds_bits);
+      folder.export_state(out);
+    };
+    persist.restore_sink =
+        [&rep, &folder, n](const std::vector<std::uint64_t>& data) {
+          // Validate the exact payload length before mutating anything,
+          // so a rejected sink leaves the harness in its fresh state.
+          const std::size_t w = words_for(n);
+          if (data.size() < 6 || data[0] != kSinkVersion ||
+              data[1] != static_cast<std::uint64_t>(n) || w == 0) {
+            return false;
+          }
+          const std::uint64_t count = data[5];
+          if ((data.size() - 6) % w != 0 ||
+              count != (data.size() - 6) / w) {
+            return false;
+          }
+          std::size_t pos = 5;
+          if (!folder.restore_state(data, pos)) return false;
+          rep.candidate_tests = static_cast<std::size_t>(data[2]);
+          rep.filtered_tests = static_cast<std::size_t>(data[3]);
+          std::uint64_t seconds_bits = data[4];
+          std::memcpy(&rep.sweep_seconds, &seconds_bits,
+                      sizeof seconds_bits);
+          return true;
+        };
+  }
+
   if (!options.filter_extremes) {
+    engine::StreamOptions stream_options = options.stream;
+    stream_options.verdict_store = options.verdict_store;
+    if (persisted) stream_options.persistence = &persist;
     rep.stream = eng.run_stream(
         models, source,
         [&](const std::vector<litmus::LitmusTest>& novel,
@@ -153,7 +254,7 @@ DistinguishMatrix distinguishability_streamed(
           if (!novel.empty()) folder.fold(verdicts);
           if (progress) progress(cs);
         },
-        options.stream);
+        stream_options);
     rep.candidate_tests = rep.stream.novel_tests;
     return matrix;
   }
@@ -163,9 +264,7 @@ DistinguishMatrix distinguishability_streamed(
   // are allowed by F = false yet forbidden by F = true — any other test
   // receives one uniform verdict across the whole class (monotonicity)
   // and cannot distinguish a pair.
-  const std::vector<core::MemoryModel> extremes = {
-      core::MemoryModel("weakest-class", core::f_false()),
-      core::MemoryModel("strongest-class", core::f_true())};
+  const std::vector<core::MemoryModel> extremes = extreme_models();
 
   // The stream only sees the (custom-free) extremes, but its survivors
   // are swept with the caller's models: if any of those carries custom
@@ -176,6 +275,8 @@ DistinguishMatrix distinguishability_streamed(
     stream_options.force_structural_keys =
         stream_options.force_structural_keys || model.formula().has_custom();
   }
+  stream_options.verdict_store = options.verdict_store;
+  if (persisted) stream_options.persistence = &persist;
 
   // Candidates are canonically unique already (the stream deduped
   // them), and the sweep's verdicts are folded immediately, so the
@@ -184,6 +285,9 @@ DistinguishMatrix distinguishability_streamed(
   engine::EngineOptions sweep_options = eng.options();
   sweep_options.cache_enabled = false;
   engine::VerdictEngine sweep(sweep_options);
+  // The sweep still groups by canonical fingerprint when a store is
+  // attached: its verdicts are what a warm rerun serves from disk.
+  sweep.set_store(options.verdict_store);
 
   std::vector<litmus::LitmusTest> candidates;
   rep.stream = eng.run_stream(

@@ -38,6 +38,7 @@
 #include "engine/test_stream.h"
 #include "engine/verdict_engine.h"
 #include "litmus/test.h"
+#include "store/verdict_store.h"
 
 namespace mcmc::explore {
 
@@ -87,6 +88,21 @@ class DistinguishMatrix {
     engine::VerdictEngine& eng, const std::vector<core::MemoryModel>& models,
     const std::vector<litmus::LitmusTest>& tests);
 
+/// The monotone-class extremes the prefilter streams against: the
+/// weakest model (F = false, everything SC-or-weaker admissible) and
+/// the strongest (F = true, SC).  Exposed so callers can size a
+/// verdict store that covers both harness phases.
+[[nodiscard]] std::vector<core::MemoryModel> extreme_models();
+
+/// Store metadata covering a full harness run over `models`: one column
+/// per extreme (the prefilter stream) plus one per swept model.  A
+/// store opened with this meta is shared by both phases, so a warm
+/// rerun serves the extremes verdicts AND the candidate sweep from
+/// disk.  Models with custom predicates contribute no column (see
+/// store::model_store_key) and simply never hit.
+[[nodiscard]] store::StoreMeta harness_store_meta(
+    const std::vector<core::MemoryModel>& models);
+
 /// Options of the streamed Theorem-1 harness.
 struct TheoremHarnessOptions {
   /// Monotone-class extremes prefilter (see the header comment).  The
@@ -99,6 +115,18 @@ struct TheoremHarnessOptions {
   /// Stream behavior; dedup on / persist off are the right defaults for
   /// bounded-memory corpus runs.
   engine::StreamOptions stream;
+  /// Persistent verdict store shared by the prefilter stream and the
+  /// candidate sweep (caller-owned, may be null).  Open it with
+  /// harness_store_meta(models) so both phases find their columns.
+  store::VerdictStore* verdict_store = nullptr;
+  /// Chunk-granular checkpoint/resume of the harness (requires
+  /// `verdict_store`; null = off).  The caller sets path / fs /
+  /// cadence / resume / kill hooks; the harness installs its own
+  /// save_sink and restore_sink (overwriting any caller-set hooks) to
+  /// carry the fold state — distinct verdict columns plus the prefilter
+  /// counters — alongside the stream cursor, so a killed run resumes
+  /// bit-for-bit without re-sweeping sealed chunks.
+  const store::StreamPersistence* persistence = nullptr;
 };
 
 /// Accounting of a streamed harness run.

@@ -14,9 +14,27 @@ using core::Instruction;
 using core::Loc;
 using core::Reg;
 
+// Hard bounds on parsed indices and values: far above anything a
+// legitimate test uses, low enough that hostile input ("r999999999999")
+// can neither overflow the integer parse nor coax downstream layers
+// into absurd allocations.  Every violation is a line-tagged
+// std::invalid_argument, never an internal-invariant logic_error.
+constexpr long long kMaxRegisterIndex = 255;
+constexpr long long kMaxLocationIndex = 15;
+constexpr long long kMaxValueMagnitude = 1 << 20;
+
 [[noreturn]] void fail(int line_no, const std::string& msg) {
   throw std::invalid_argument("litmus parse error (line " +
                               std::to_string(line_no) + "): " + msg);
+}
+
+/// util::parse_int with the parse error re-tagged to the input line.
+long long parse_integer(const std::string& tok, int line_no) {
+  try {
+    return util::parse_int(tok);
+  } catch (const std::exception& e) {
+    fail(line_no, std::string("bad integer '") + tok + "': " + e.what());
+  }
 }
 
 bool is_register(const std::string& tok) {
@@ -29,7 +47,12 @@ bool is_register(const std::string& tok) {
 
 Reg parse_register(const std::string& tok, int line_no) {
   if (!is_register(tok)) fail(line_no, "expected register, got '" + tok + "'");
-  return static_cast<Reg>(util::parse_int(tok.substr(1)));
+  const long long index = parse_integer(tok.substr(1), line_no);
+  if (index > kMaxRegisterIndex) {
+    fail(line_no, "register index out of range: '" + tok + "' (max r" +
+                      std::to_string(kMaxRegisterIndex) + ")");
+  }
+  return static_cast<Reg>(index);
 }
 
 bool is_location(const std::string& tok) {
@@ -48,7 +71,14 @@ Loc parse_location(const std::string& tok, int line_no) {
   if (tok == "Y") return 1;
   if (tok == "Z") return 2;
   if (tok == "W") return 3;
-  if (is_location(tok)) return static_cast<Loc>(util::parse_int(tok.substr(1)));
+  if (is_location(tok)) {
+    const long long index = parse_integer(tok.substr(1), line_no);
+    if (index > kMaxLocationIndex) {
+      fail(line_no, "location index out of range: '" + tok + "' (max A" +
+                        std::to_string(kMaxLocationIndex) + ")");
+    }
+    return static_cast<Loc>(index);
+  }
   fail(line_no, "expected location, got '" + tok + "'");
 }
 
@@ -60,6 +90,17 @@ bool is_integer(const std::string& tok) {
     if (!std::isdigit(static_cast<unsigned char>(tok[i]))) return false;
   }
   return true;
+}
+
+/// Parses a bounded integer literal (store values, dependency
+/// constants, outcome values).
+int parse_value(const std::string& tok, int line_no) {
+  if (!is_integer(tok)) fail(line_no, "bad value '" + tok + "'");
+  const long long v = parse_integer(tok, line_no);
+  if (v < -kMaxValueMagnitude || v > kMaxValueMagnitude) {
+    fail(line_no, "value out of range: '" + tok + "'");
+  }
+  return static_cast<int>(v);
 }
 
 /// Parses "[rN]" or a location name; returns (loc, addr_reg).
@@ -92,7 +133,7 @@ Instruction parse_dep_const(const std::string& line, int line_no) {
   const Reg src = parse_register(s1, line_no);
   int value = 0;
   if (is_integer(c)) {
-    value = static_cast<int>(util::parse_int(c));
+    value = parse_value(c, line_no);
   } else if (is_location(c)) {
     value = parse_location(c, line_no);
   } else {
@@ -132,7 +173,7 @@ Instruction parse_instruction(const std::string& line, int line_no) {
       return core::make_write_from_reg(loc, parse_register(toks[3], line_no));
     }
     if (!is_integer(toks[3])) fail(line_no, "bad store value '" + toks[3] + "'");
-    const int value = static_cast<int>(util::parse_int(toks[3]));
+    const int value = parse_value(toks[3], line_no);
     return (areg >= 0) ? core::make_write_indirect(areg, value)
                        : core::make_write(loc, value);
   }
@@ -176,8 +217,11 @@ LitmusTest parse_test(const std::string& text) {
         const auto eq = item.find('=');
         if (eq == std::string::npos) fail(line_no, "bad outcome item " + item);
         const Reg reg = parse_register(util::trim(item.substr(0, eq)), line_no);
-        outcome.require(reg, static_cast<int>(
-                                 util::parse_int(item.substr(eq + 1))));
+        if (outcome.required(reg).has_value()) {
+          fail(line_no, "outcome constrains " + core::reg_name(reg) +
+                            " more than once");
+        }
+        outcome.require(reg, parse_value(item.substr(eq + 1), line_no));
       }
       saw_outcome = true;
       continue;
@@ -187,7 +231,15 @@ LitmusTest parse_test(const std::string& text) {
   }
   if (threads.empty()) throw std::invalid_argument("litmus test has no threads");
   if (!saw_outcome) throw std::invalid_argument("litmus test has no outcome");
-  return LitmusTest(name, core::Program(std::move(threads)), outcome);
+  try {
+    return LitmusTest(name, core::Program(std::move(threads)), outcome);
+  } catch (const std::exception& e) {
+    // Whatever semantic validation Program/LitmusTest construction runs,
+    // malformed *input* must surface as a parse error with the test's
+    // name attached, not as an internal-invariant failure.
+    throw std::invalid_argument("litmus test '" + name +
+                                "' rejected: " + e.what());
+  }
 }
 
 std::vector<LitmusTest> parse_corpus(const std::string& text) {

@@ -1,0 +1,381 @@
+#include "store/verdict_store.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/bytes.h"
+#include "util/check.h"
+
+namespace mcmc::store {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'C', 'V', 'S', 'T', 'O', 'R', '1'};
+constexpr std::size_t kHeaderBytes = 40;  // checksummed prefix, see save()
+constexpr std::uint32_t kTagVerdicts = 0x44524556;    // "VERD"
+constexpr std::uint32_t kTagCheckpoint = 0x54504b43;  // "CKPT"
+
+Fs& resolve(Fs* fs) { return fs != nullptr ? *fs : RealFs::instance(); }
+
+void append_section(std::string& out, std::uint32_t tag,
+                    const std::string& payload) {
+  util::append_u32(out, tag);
+  util::append_u32(out, 0);
+  util::append_u64(out, payload.size());
+  util::append_key128(out, util::hash128(payload));
+  out += payload;
+}
+
+std::vector<std::uint64_t> read_words(util::ByteReader& r) {
+  const std::uint64_t count = r.read_u64();
+  if (count > r.remaining() / 8) {
+    r.fail();
+    return {};
+  }
+  std::vector<std::uint64_t> words(count);
+  for (auto& w : words) w = r.read_u64();
+  return words;
+}
+
+void append_words(std::string& out, const std::vector<std::uint64_t>& words) {
+  util::append_u64(out, words.size());
+  for (std::uint64_t w : words) util::append_u64(out, w);
+}
+
+}  // namespace
+
+std::string model_store_key(const core::MemoryModel& model) {
+  if (model.formula().has_custom()) return {};
+  return "F:" + model.formula().to_string();
+}
+
+StoreMeta StoreMeta::from_models(const std::vector<core::MemoryModel>& models) {
+  StoreMeta meta;
+  meta.model_keys.reserve(models.size());
+  for (const auto& m : models) meta.model_keys.push_back(model_store_key(m));
+  return meta;
+}
+
+util::Key128 StoreMeta::zoo_fingerprint() const {
+  // Hash the ordered keys with their lengths so no two key lists share
+  // a byte serialization (keys may contain any byte, so a separator
+  // alone would be ambiguous).
+  std::string bytes;
+  util::append_u64(bytes, model_keys.size());
+  for (const auto& key : model_keys) {
+    util::append_u64(bytes, key.size());
+    bytes += key;
+  }
+  return util::hash128(bytes);
+}
+
+std::string to_string(OpenOutcome outcome) {
+  switch (outcome) {
+    case OpenOutcome::Fresh: return "fresh";
+    case OpenOutcome::Loaded: return "loaded";
+    case OpenOutcome::VersionMismatch: return "version-mismatch";
+    case OpenOutcome::ZooMismatch: return "zoo-mismatch";
+    case OpenOutcome::Corrupt: return "corrupt";
+  }
+  MCMC_UNREACHABLE("bad OpenOutcome");
+}
+
+VerdictStore::VerdictStore(StoreMeta meta) : meta_(std::move(meta)) {
+  words_ = (static_cast<std::size_t>(meta_.num_models()) + 63) / 64;
+  for (int i = 0; i < meta_.num_models(); ++i) {
+    const std::string& key = meta_.model_keys[static_cast<std::size_t>(i)];
+    if (!key.empty()) column_.emplace(key, i);
+  }
+}
+
+int VerdictStore::column_of(const std::string& model_key) const {
+  if (model_key.empty()) return -1;
+  auto it = column_.find(model_key);
+  return it == column_.end() ? -1 : it->second;
+}
+
+std::uint32_t VerdictStore::row_of(util::Key128 test) {
+  auto [it, inserted] = index_.emplace(
+      test, static_cast<std::uint32_t>(index_.size()));
+  if (inserted) {
+    valid_.resize(valid_.size() + words_, 0);
+    bits_.resize(bits_.size() + words_, 0);
+  }
+  return it->second;
+}
+
+std::optional<bool> VerdictStore::probe_bit(util::Key128 test, int col) {
+  MCMC_CHECK_MSG(col >= 0 && col < num_models(), "store column out of range");
+  auto it = index_.find(test);
+  if (it != index_.end()) {
+    const std::size_t base = static_cast<std::size_t>(it->second) * words_;
+    const std::size_t word = static_cast<std::size_t>(col) / 64;
+    const std::uint64_t mask = 1ULL << (static_cast<std::size_t>(col) % 64);
+    if ((valid_[base + word] & mask) != 0) {
+      ++hits_;
+      return (bits_[base + word] & mask) != 0;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+bool VerdictStore::probe_row(util::Key128 test, const std::vector<int>& cols,
+                             std::vector<std::uint64_t>& out) {
+  out.assign((cols.size() + 63) / 64, 0);
+  auto it = index_.find(test);
+  if (it != index_.end()) {
+    const std::size_t base = static_cast<std::size_t>(it->second) * words_;
+    bool all = true;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const int col = cols[i];
+      MCMC_CHECK_MSG(col >= 0 && col < num_models(), "store column out of range");
+      const std::size_t word = static_cast<std::size_t>(col) / 64;
+      const std::uint64_t mask = 1ULL << (static_cast<std::size_t>(col) % 64);
+      if ((valid_[base + word] & mask) == 0) {
+        all = false;
+        break;
+      }
+      if ((bits_[base + word] & mask) != 0) out[i / 64] |= 1ULL << (i % 64);
+    }
+    if (all) {
+      hits_ += cols.size();
+      return true;
+    }
+  }
+  misses_ += cols.size();
+  return false;
+}
+
+void VerdictStore::set_bit(util::Key128 test, int col, bool verdict) {
+  MCMC_CHECK_MSG(col >= 0 && col < num_models(), "store column out of range");
+  const std::size_t base = static_cast<std::size_t>(row_of(test)) * words_;
+  const std::size_t word = static_cast<std::size_t>(col) / 64;
+  const std::uint64_t mask = 1ULL << (static_cast<std::size_t>(col) % 64);
+  valid_[base + word] |= mask;
+  if (verdict) {
+    bits_[base + word] |= mask;
+  } else {
+    bits_[base + word] &= ~mask;
+  }
+}
+
+std::string VerdictStore::serialize() const {
+  std::string verd;
+  util::append_u64(verd, index_.size());
+  util::append_u32(verd, static_cast<std::uint32_t>(words_));
+  util::append_u32(verd, 0);
+  // Rows in index order so equal stores serialize identically
+  // regardless of hash-map iteration order (the recovery tests compare
+  // files bit for bit).
+  std::vector<const std::pair<const util::Key128, std::uint32_t>*> rows(
+      index_.size());
+  for (const auto& entry : index_) rows[entry.second] = &entry;
+  for (const auto* entry : rows) {
+    util::append_key128(verd, entry->first);
+    const std::size_t base = static_cast<std::size_t>(entry->second) * words_;
+    for (std::size_t w = 0; w < words_; ++w) {
+      util::append_u64(verd, valid_[base + w]);
+    }
+    for (std::size_t w = 0; w < words_; ++w) {
+      util::append_u64(verd, bits_[base + w]);
+    }
+  }
+
+  std::string out;
+  out.append(kMagic, sizeof kMagic);
+  util::append_u32(out, kStoreFormatVersion);
+  util::append_u32(out, static_cast<std::uint32_t>(meta_.num_models()));
+  util::append_key128(out, meta_.zoo_fingerprint());
+  util::append_u32(out, checkpoint_.has_value() ? 2u : 1u);  // section count
+  util::append_u32(out, 0);
+  MCMC_CHECK_MSG(out.size() == kHeaderBytes, "store header layout drifted");
+  util::append_key128(out, util::hash128(out.data(), kHeaderBytes));
+
+  append_section(out, kTagVerdicts, verd);
+  if (checkpoint_.has_value()) {
+    const StreamCheckpoint& ck = *checkpoint_;
+    std::string ckpt;
+    util::append_u64(ckpt, ck.chunks);
+    util::append_u64(ckpt, ck.tests_streamed);
+    util::append_u64(ckpt, ck.novel_tests);
+    util::append_u64(ckpt, ck.duplicate_tests);
+    util::append_u64(ckpt, ck.seen_keys.size());
+    for (const auto& k : ck.seen_keys) util::append_key128(ckpt, k);
+    append_words(ckpt, ck.source_cursor);
+    append_words(ckpt, ck.sink_state);
+    append_section(out, kTagCheckpoint, ckpt);
+  }
+  return out;
+}
+
+bool VerdictStore::save(const std::string& path, Fs* fs, std::string* error) {
+  Fs& f = resolve(fs);
+  const std::string tmp = path + ".tmp";
+  const std::string bytes = serialize();
+
+  auto set_error = [&](const char* what) {
+    if (error != nullptr) *error = std::string(what) + ": " + tmp;
+  };
+
+  auto writer = f.create(tmp);
+  if (writer == nullptr) {
+    set_error("store save: create failed");
+    return false;
+  }
+  // Any failure below leaves a partial temp file; remove it so a later
+  // reader never sees it and a later save starts clean.  `path` itself
+  // is only ever touched by the atomic rename at the end.
+  if (!writer->write(bytes.data(), bytes.size()) || !writer->sync() ||
+      !writer->close()) {
+    set_error("store save: write failed");
+    (void)f.remove(tmp);
+    return false;
+  }
+  if (!f.rename(tmp, path)) {
+    set_error("store save: rename failed");
+    (void)f.remove(tmp);
+    return false;
+  }
+  return true;
+}
+
+OpenResult VerdictStore::open(const std::string& path, StoreMeta meta,
+                              Fs* fs) {
+  Fs& f = resolve(fs);
+  OpenResult result;
+  result.store = std::make_unique<VerdictStore>(std::move(meta));
+  VerdictStore& store = *result.store;
+
+  if (!f.exists(path)) {
+    result.outcome = OpenOutcome::Fresh;
+    result.detail = "no store file";
+    return result;
+  }
+  std::string bytes;
+  if (!f.read_file(path, bytes)) {
+    result.outcome = OpenOutcome::Fresh;
+    result.detail = "store file unreadable";
+    return result;
+  }
+
+  // Every reject below that indicates damage (rather than a legitimate
+  // other-version or other-zoo file) quarantines the file so the next
+  // save starts from a clean slate and the evidence survives for
+  // inspection.
+  auto corrupt = [&](const std::string& why) {
+    result.outcome = OpenOutcome::Corrupt;
+    result.detail = why;
+    if (!f.rename(path, path + ".corrupt")) (void)f.remove(path);
+    return std::move(result);
+  };
+
+  util::ByteReader r(bytes);
+  const char* magic = r.read_bytes(sizeof kMagic);
+  if (magic == nullptr || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return corrupt("bad magic");
+  }
+  const std::uint32_t version = r.read_u32();
+  const std::uint32_t num_models = r.read_u32();
+  const util::Key128 zoo = r.read_key128();
+  const std::uint32_t section_count = r.read_u32();
+  (void)r.read_u32();  // reserved
+  const util::Key128 header_sum = r.read_key128();
+  if (!r.ok()) return corrupt("truncated header");
+  if (header_sum != util::hash128(bytes.data(), kHeaderBytes)) {
+    return corrupt("header checksum mismatch");
+  }
+  if (version != kStoreFormatVersion) {
+    result.outcome = OpenOutcome::VersionMismatch;
+    result.detail = "store format version " + std::to_string(version);
+    return result;
+  }
+  if (num_models != static_cast<std::uint32_t>(store.num_models()) ||
+      zoo != store.meta_.zoo_fingerprint()) {
+    result.outcome = OpenOutcome::ZooMismatch;
+    result.detail = "model zoo fingerprint differs";
+    return result;
+  }
+
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    const std::uint32_t tag = r.read_u32();
+    (void)r.read_u32();  // reserved
+    const std::uint64_t payload_len = r.read_u64();
+    const util::Key128 payload_sum = r.read_key128();
+    if (!r.ok() || payload_len > r.remaining()) {
+      return corrupt("truncated section header");
+    }
+    const char* payload = r.read_bytes(static_cast<std::size_t>(payload_len));
+    if (payload == nullptr ||
+        payload_sum !=
+            util::hash128(payload, static_cast<std::size_t>(payload_len))) {
+      return corrupt("section checksum mismatch");
+    }
+    util::ByteReader p(payload, static_cast<std::size_t>(payload_len));
+    if (tag == kTagVerdicts) {
+      const std::uint64_t entry_count = p.read_u64();
+      const std::uint32_t words = p.read_u32();
+      (void)p.read_u32();  // reserved
+      if (words != store.words_ ||
+          entry_count > p.remaining() / (16 + 16 * store.words_)) {
+        return corrupt("verdict section geometry");
+      }
+      store.index_.reserve(static_cast<std::size_t>(entry_count));
+      store.valid_.reserve(static_cast<std::size_t>(entry_count) *
+                           store.words_);
+      store.bits_.reserve(static_cast<std::size_t>(entry_count) *
+                          store.words_);
+      for (std::uint64_t i = 0; i < entry_count; ++i) {
+        const util::Key128 key = p.read_key128();
+        const std::size_t base =
+            static_cast<std::size_t>(store.row_of(key)) * store.words_;
+        for (std::size_t w = 0; w < store.words_; ++w) {
+          store.valid_[base + w] = p.read_u64();
+        }
+        for (std::size_t w = 0; w < store.words_; ++w) {
+          store.bits_[base + w] = p.read_u64();
+        }
+      }
+      if (store.index_.size() != entry_count) p.fail();  // duplicate keys
+    } else if (tag == kTagCheckpoint) {
+      StreamCheckpoint ck;
+      ck.chunks = p.read_u64();
+      ck.tests_streamed = p.read_u64();
+      ck.novel_tests = p.read_u64();
+      ck.duplicate_tests = p.read_u64();
+      const std::uint64_t seen = p.read_u64();
+      if (seen > p.remaining() / 16) {
+        p.fail();
+      } else {
+        ck.seen_keys.resize(static_cast<std::size_t>(seen));
+        for (auto& k : ck.seen_keys) k = p.read_key128();
+      }
+      ck.source_cursor = read_words(p);
+      ck.sink_state = read_words(p);
+      if (p.ok()) store.checkpoint_ = std::move(ck);
+    }
+    // Unknown tags are impossible at a matching format version; treat
+    // them as damage rather than skipping silently.
+    if (tag != kTagVerdicts && tag != kTagCheckpoint) p.fail();
+    if (!p.ok() || p.remaining() != 0) {
+      store.index_.clear();
+      store.valid_.clear();
+      store.bits_.clear();
+      store.checkpoint_.reset();
+      return corrupt("malformed section payload");
+    }
+  }
+  if (r.remaining() != 0) {
+    store.index_.clear();
+    store.valid_.clear();
+    store.bits_.clear();
+    store.checkpoint_.reset();
+    return corrupt("trailing bytes after sections");
+  }
+
+  result.outcome = OpenOutcome::Loaded;
+  result.detail = std::to_string(store.size()) + " entries";
+  return result;
+}
+
+}  // namespace mcmc::store

@@ -1,0 +1,218 @@
+// Crash-safe persistent verdict store.
+//
+// The engine's canonical-key verdict cache dies with the process, so
+// every run re-derives all ~445k canonical-class verdicts and an
+// interrupted full-space stream restarts from zero.  This subsystem is
+// the cache that outlives the process: a versioned, checksummed file
+// mapping 128-bit canonical test fingerprints (util::Key128) to packed
+// per-model verdict words, plus an optional stream checkpoint so an
+// exhaustive run can resume from its last sealed chunk.
+//
+// Durability model (see README "Persistence guarantees"):
+//
+//   * Atomic commit: save() writes `path + ".tmp"`, fsyncs, and
+//     renames over `path`.  A crash at ANY point leaves either the old
+//     complete file or the new complete file at `path` — never a
+//     partial one (a leftover .tmp is inert and overwritten next save).
+//   * Checksums: the header and every section payload carry a 128-bit
+//     content hash; load verifies all of them before using any byte,
+//     so truncation, torn writes, and bit flips are detected, not
+//     propagated into verdicts.
+//   * Invalidation: the header carries a fingerprint of the model zoo
+//     the verdict columns were computed against.  Open with a
+//     different zoo and the file self-invalidates (ignored, rebuilt on
+//     next save) — a stale cache can never serve a verdict for the
+//     wrong model.
+//   * Graceful degradation: a corrupt file is quarantined (renamed to
+//     `path + ".corrupt"`) and open() returns an empty store; callers
+//     recompute and repopulate.  Recovery never throws, never crashes,
+//     and never yields a wrong verdict — the worst case is doing the
+//     work the cache would have saved.
+//
+// All filesystem access goes through store::Fs, so every recovery path
+// above is exercised by fault injection (store/fs.h) in the dedicated
+// store test suites.
+//
+// Thread-safety: none.  The engine consults the store only from its
+// serial phases (batch grouping/publish, the stream consumer thread).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/model.h"
+#include "store/fs.h"
+#include "util/hash128.h"
+
+namespace mcmc::store {
+
+/// On-disk format version; bumped on any layout change.  A file with a
+/// different version is ignored (not quarantined — it belongs to a
+/// different build, not to bit rot).
+inline constexpr std::uint32_t kStoreFormatVersion = 1;
+
+/// The engine-compatible cache key of a model: the same string the
+/// VerdictEngine keys its persistent cache by, so store columns and
+/// engine model classes match by string equality.  Empty for formulas
+/// with custom predicates — their semantics may observe raw identity,
+/// so their verdicts are never persisted.
+[[nodiscard]] std::string model_store_key(const core::MemoryModel& model);
+
+/// Identity of a store: the ordered model list its verdict columns are
+/// computed against.  Two stores are interchangeable iff their zoo
+/// fingerprints match (the fingerprint hashes the ordered keys, so
+/// reordering, renaming a formula, or resizing the zoo all invalidate).
+struct StoreMeta {
+  std::vector<std::string> model_keys;
+
+  [[nodiscard]] static StoreMeta from_models(
+      const std::vector<core::MemoryModel>& models);
+
+  [[nodiscard]] int num_models() const {
+    return static_cast<int>(model_keys.size());
+  }
+  [[nodiscard]] util::Key128 zoo_fingerprint() const;
+};
+
+/// Resume state of an interrupted stream: everything run_stream needs
+/// to continue from the first unsealed chunk — cumulative counters,
+/// the cross-chunk dedup set, the source's serialized cursor, and an
+/// opaque sink blob (the Theorem harness stores its fold state there).
+struct StreamCheckpoint {
+  std::uint64_t chunks = 0;
+  std::uint64_t tests_streamed = 0;
+  std::uint64_t novel_tests = 0;
+  std::uint64_t duplicate_tests = 0;
+  std::vector<util::Key128> seen_keys;
+  std::vector<std::uint64_t> source_cursor;
+  std::vector<std::uint64_t> sink_state;
+};
+
+/// Checkpoint/resume configuration for VerdictEngine::run_stream (see
+/// StreamOptions::persistence).  The engine seals every
+/// `checkpoint_every_chunks` chunks: it snapshots the source cursor
+/// and dedup set, asks the sink for its state, and commits the whole
+/// store file atomically.  With `resume`, a checkpoint present in the
+/// attached store restores all of that before the first chunk.
+struct StreamPersistence {
+  std::string path;                   ///< store file (empty = disabled)
+  Fs* fs = nullptr;                   ///< null = the real filesystem
+  int checkpoint_every_chunks = 64;
+  bool resume = false;
+  /// Serializes the sink's fold state into the checkpoint.
+  std::function<void(std::vector<std::uint64_t>&)> save_sink;
+  /// Restores sink state from a checkpoint; returning false aborts the
+  /// resume (the run restarts from scratch instead of diverging).
+  std::function<bool(const std::vector<std::uint64_t>&)> restore_sink;
+  /// Test hook: after this many successful seals, throw
+  /// StreamInterrupted — the file is then bit-for-bit what a SIGKILL
+  /// right after the atomic rename leaves behind.  -1 never fires.
+  int kill_after_seals = -1;
+};
+
+/// Thrown by the kill_after_seals test hook (and nothing else): lets
+/// recovery tests produce a mid-stream interruption whose on-disk
+/// state is exactly a kill's.
+struct StreamInterrupted : std::runtime_error {
+  explicit StreamInterrupted(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// How open() classified the file it found.
+enum class OpenOutcome {
+  Fresh,            ///< no file (or unreadable): empty store
+  Loaded,           ///< parsed, verified, adopted
+  VersionMismatch,  ///< other format version: ignored, not quarantined
+  ZooMismatch,      ///< different model zoo: self-invalidated
+  Corrupt,          ///< checksum/structure failure: quarantined
+};
+
+[[nodiscard]] std::string to_string(OpenOutcome outcome);
+
+class VerdictStore;
+
+struct OpenResult {
+  std::unique_ptr<VerdictStore> store;  ///< never null (empty on failure)
+  OpenOutcome outcome = OpenOutcome::Fresh;
+  std::string detail;                   ///< human-readable diagnosis
+};
+
+/// The in-memory store: canonical test fingerprint -> one packed row
+/// of per-model verdict bits plus a validity mask (rows fill in
+/// model-subset order: the extremes stream contributes 2 columns, the
+/// full sweep the rest).
+class VerdictStore {
+ public:
+  explicit VerdictStore(StoreMeta meta);
+
+  /// Loads `path` (verifying version, zoo fingerprint, and every
+  /// checksum) or returns an empty store, per the durability model in
+  /// the header comment.  Never throws on bad input.
+  [[nodiscard]] static OpenResult open(const std::string& path,
+                                       StoreMeta meta, Fs* fs = nullptr);
+
+  /// Atomically commits the store (entries + checkpoint, if any) to
+  /// `path`.  False on any filesystem failure; `path` then still holds
+  /// whatever complete file it held before.
+  [[nodiscard]] bool save(const std::string& path, Fs* fs = nullptr,
+                          std::string* error = nullptr);
+
+  [[nodiscard]] const StoreMeta& meta() const { return meta_; }
+  [[nodiscard]] int num_models() const { return meta_.num_models(); }
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] std::size_t words_per_row() const { return words_; }
+
+  /// Column of the model with this engine cache key; -1 if absent
+  /// (unknown model, or the empty custom-predicate key).
+  [[nodiscard]] int column_of(const std::string& model_key) const;
+
+  /// The verdict bit of (test, column), if present.  Counts one cell
+  /// hit or miss.
+  [[nodiscard]] std::optional<bool> probe_bit(util::Key128 test, int col);
+
+  /// Full-row probe: true iff every column in `cols` is present, in
+  /// which case bit i of `out` (indexed like `cols`) is column
+  /// cols[i]'s verdict.  Counts |cols| hits on success, |cols| misses
+  /// otherwise.
+  [[nodiscard]] bool probe_row(util::Key128 test,
+                               const std::vector<int>& cols,
+                               std::vector<std::uint64_t>& out);
+
+  void set_bit(util::Key128 test, int col, bool verdict);
+
+  /// Cell-level accounting since construction (or reset_counters):
+  /// the store hit rate bench_exhaustive reports is
+  /// hits / (hits + misses).
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  void reset_counters() { hits_ = misses_ = 0; }
+
+  // ---- Stream checkpoint (persisted alongside the entries). ----
+  [[nodiscard]] const std::optional<StreamCheckpoint>& checkpoint() const {
+    return checkpoint_;
+  }
+  void set_checkpoint(StreamCheckpoint ck) { checkpoint_ = std::move(ck); }
+  void clear_checkpoint() { checkpoint_.reset(); }
+
+ private:
+  [[nodiscard]] std::uint32_t row_of(util::Key128 test);
+  [[nodiscard]] std::string serialize() const;
+
+  StoreMeta meta_;
+  std::size_t words_ = 0;  ///< words per row (and per validity mask)
+  std::unordered_map<util::Key128, std::uint32_t, util::Key128Hash> index_;
+  std::vector<std::uint64_t> valid_;  ///< size() x words_, slab
+  std::vector<std::uint64_t> bits_;   ///< size() x words_, slab
+  std::unordered_map<std::string, int> column_;
+  std::optional<StreamCheckpoint> checkpoint_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mcmc::store

@@ -122,6 +122,86 @@ TEST(Parser, RejectsMalformedInputs) {
       std::invalid_argument);  // mismatched dependency registers
 }
 
+// Table-driven negative-path sweep: every malformed input must produce
+// std::invalid_argument carrying the expected diagnostic fragment —
+// never a logic_error (internal invariant), never UB, never silent
+// acceptance.
+TEST(Parser, BadInputTableProducesTaggedParseErrors) {
+  struct BadInput {
+    const char* label;
+    const char* text;
+    const char* expect_in_message;
+  };
+  const BadInput table[] = {
+      {"unknown instruction",
+       "name: x\nthread:\n  Frobnicate X\noutcome:\n", "line 3"},
+      {"fence with operand", "name: x\nthread:\n  Fence X\noutcome:\n",
+       "Fence takes no operands"},
+      {"branch without register", "name: x\nthread:\n  Branch\noutcome:\n",
+       "line 3"},
+      {"branch on location", "name: x\nthread:\n  Branch X\noutcome:\n",
+       "expected register"},
+      {"read missing arrow", "name: x\nthread:\n  Read X r1\noutcome:\n",
+       "usage: Read"},
+      {"read from register token", "name: x\nthread:\n  Read r1 -> r2\noutcome:\n",
+       "expected location"},
+      {"write missing arrow", "name: x\nthread:\n  Write X 1\noutcome:\n",
+       "usage: Write"},
+      {"write bad value", "name: x\nthread:\n  Write X <- banana\noutcome:\n",
+       "bad store value"},
+      {"write value overflow",
+       "name: x\nthread:\n  Write X <- 99999999999999999999\noutcome:\n",
+       "line 3"},
+      {"indirect store with register value",
+       "name: x\nthread:\n  r1 = r0 - r0 + 1\n  Write [r1] <- r1\noutcome:\n",
+       "indirect store"},
+      {"register index overflow",
+       "name: x\nthread:\n  Read X -> r99999999999999999999\noutcome:\n",
+       "line 3"},
+      {"register index huge", "name: x\nthread:\n  Read X -> r300\noutcome:\n",
+       "register index out of range"},
+      {"location index huge",
+       "name: x\nthread:\n  Read A99 -> r1\noutcome:\n",
+       "location index out of range"},
+      {"dep-const mismatched registers",
+       "name: x\nthread:\n  r2 = r1 - r3 + 1\noutcome: r2=1\n",
+       "same register"},
+      {"dep-const bad constant",
+       "name: x\nthread:\n  r2 = r1 - r1 + banana\noutcome: r2=1\n",
+       "bad constant"},
+      {"dep-const constant overflow",
+       "name: x\nthread:\n  r2 = r1 - r1 + 99999999999999999999\noutcome:\n",
+       "line 3"},
+      {"outcome missing equals",
+       "name: x\nthread:\n  Read X -> r1\noutcome: r1\n", "bad outcome item"},
+      {"outcome non-integer value",
+       "name: x\nthread:\n  Read X -> r1\noutcome: r1=zap\n", "bad value"},
+      {"outcome empty value",
+       "name: x\nthread:\n  Read X -> r1\noutcome: r1=\n", "bad value"},
+      {"outcome value overflow",
+       "name: x\nthread:\n  Read X -> r1\noutcome: r1=99999999999999999999\n",
+       "line 4"},
+      {"outcome duplicate register",
+       "name: x\nthread:\n  Read X -> r1\noutcome: r1=0 r1=1\n",
+       "more than once"},
+      {"outcome on location token",
+       "name: x\nthread:\n  Read X -> r1\noutcome: X=0\n",
+       "expected register"},
+  };
+  for (const auto& bad : table) {
+    try {
+      (void)parse_test(bad.text);
+      FAIL() << bad.label << ": accepted malformed input";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(bad.expect_in_message),
+                std::string::npos)
+          << bad.label << ": diagnostic was '" << e.what() << "'";
+    } catch (const std::exception& e) {
+      FAIL() << bad.label << ": threw non-invalid_argument: " << e.what();
+    }
+  }
+}
+
 TEST(Parser, RejectsSemanticViolationsViaValidation) {
   // Register used before definition.
   EXPECT_THROW((void)parse_test(R"(

@@ -1,0 +1,388 @@
+// Unit coverage of the persistent verdict store: round trips, the
+// atomic-commit protocol, every corruption class open() must classify
+// (truncation, bit flip, bad magic, trailing bytes, version and zoo
+// mismatches, leftover temp files), and fault-injected save paths
+// (torn writes, ENOSPC-style budgets, failing fsync/create/rename).
+// The invariant throughout: recovery never throws, never yields a
+// wrong verdict, and degrades to an empty store at worst.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/formula.h"
+#include "core/model.h"
+#include "store/fs.h"
+#include "store/verdict_store.h"
+#include "util/hash128.h"
+
+namespace mcmc::store {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "store_test_" + name + ".vstore";
+}
+
+void scrub(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  std::remove((path + ".corrupt").c_str());
+}
+
+StoreMeta small_meta() {
+  StoreMeta meta;
+  meta.model_keys = {"F:alpha", "F:beta", "F:gamma"};
+  return meta;
+}
+
+util::Key128 key_of(int i) {
+  const std::string s = "test-" + std::to_string(i);
+  return util::hash128(s);
+}
+
+std::string slurp(const std::string& path) {
+  std::string out;
+  EXPECT_TRUE(RealFs::instance().read_file(path, out));
+  return out;
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  auto w = RealFs::instance().create(path);
+  ASSERT_NE(w, nullptr);
+  ASSERT_TRUE(w->write(bytes.data(), bytes.size()));
+  ASSERT_TRUE(w->close());
+}
+
+// ---------------------------------------------------------------------------
+// Metadata and keys
+// ---------------------------------------------------------------------------
+
+TEST(StoreMeta, CustomPredicateModelsGetNoKey) {
+  const core::MemoryModel plain("plain", core::f_false());
+  EXPECT_FALSE(model_store_key(plain).empty());
+  core::CustomPredicate pred = [](const core::Analysis&, core::EventId,
+                                  core::EventId) { return false; };
+  const core::MemoryModel custom("custom", core::Formula::custom("p", pred));
+  EXPECT_EQ(model_store_key(custom), "");
+}
+
+TEST(StoreMeta, ZooFingerprintSensitiveToOrderAndContent) {
+  StoreMeta a = small_meta();
+  StoreMeta b = small_meta();
+  EXPECT_EQ(a.zoo_fingerprint(), b.zoo_fingerprint());
+  std::swap(b.model_keys[0], b.model_keys[1]);
+  EXPECT_NE(a.zoo_fingerprint(), b.zoo_fingerprint());
+  StoreMeta c = small_meta();
+  c.model_keys.push_back("F:delta");
+  EXPECT_NE(a.zoo_fingerprint(), c.zoo_fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// In-memory bit semantics
+// ---------------------------------------------------------------------------
+
+TEST(VerdictStore, ProbeMatchesSetAndCountsHits) {
+  VerdictStore store(small_meta());
+  EXPECT_EQ(store.column_of("F:beta"), 1);
+  EXPECT_EQ(store.column_of("F:unknown"), -1);
+  EXPECT_EQ(store.column_of(""), -1);
+
+  EXPECT_FALSE(store.probe_bit(key_of(1), 0).has_value());
+  EXPECT_EQ(store.misses(), 1u);
+  store.set_bit(key_of(1), 0, true);
+  store.set_bit(key_of(1), 2, false);
+  ASSERT_TRUE(store.probe_bit(key_of(1), 0).has_value());
+  EXPECT_TRUE(*store.probe_bit(key_of(1), 0));
+  ASSERT_TRUE(store.probe_bit(key_of(1), 2).has_value());
+  EXPECT_FALSE(*store.probe_bit(key_of(1), 2));
+  EXPECT_FALSE(store.probe_bit(key_of(1), 1).has_value());  // column unset
+  EXPECT_FALSE(store.probe_bit(key_of(2), 0).has_value());  // row absent
+}
+
+TEST(VerdictStore, ProbeRowIsAllOrNothing) {
+  VerdictStore store(small_meta());
+  store.set_bit(key_of(7), 0, true);
+  store.set_bit(key_of(7), 1, false);
+  std::vector<std::uint64_t> row;
+  const std::vector<int> cols01 = {0, 1};
+  const std::vector<int> cols012 = {0, 1, 2};
+  EXPECT_TRUE(store.probe_row(key_of(7), cols01, row));
+  EXPECT_EQ(row[0] & 1u, 1u);         // col 0 allowed
+  EXPECT_EQ((row[0] >> 1) & 1u, 0u);  // col 1 forbidden
+  EXPECT_FALSE(store.probe_row(key_of(7), cols012, row));  // col 2 missing
+  EXPECT_FALSE(store.probe_row(key_of(8), cols01, row));   // row missing
+}
+
+// ---------------------------------------------------------------------------
+// Save / open round trips
+// ---------------------------------------------------------------------------
+
+TEST(VerdictStore, SaveOpenRoundTripsEntriesAndCheckpoint) {
+  const std::string path = temp_path("roundtrip");
+  scrub(path);
+  VerdictStore store(small_meta());
+  for (int i = 0; i < 100; ++i) {
+    store.set_bit(key_of(i), i % 3, i % 2 == 0);
+  }
+  StreamCheckpoint ck;
+  ck.chunks = 5;
+  ck.tests_streamed = 640;
+  ck.novel_tests = 100;
+  ck.duplicate_tests = 540;
+  ck.seen_keys = {key_of(1), key_of(2)};
+  ck.source_cursor = {1, 2, 3};
+  ck.sink_state = {9, 8};
+  store.set_checkpoint(ck);
+  ASSERT_TRUE(store.save(path));
+
+  auto opened = VerdictStore::open(path, small_meta());
+  EXPECT_EQ(opened.outcome, OpenOutcome::Loaded) << opened.detail;
+  EXPECT_EQ(opened.store->size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    auto bit = opened.store->probe_bit(key_of(i), i % 3);
+    ASSERT_TRUE(bit.has_value()) << i;
+    EXPECT_EQ(*bit, i % 2 == 0) << i;
+    EXPECT_FALSE(opened.store->probe_bit(key_of(i), (i + 1) % 3).has_value());
+  }
+  ASSERT_TRUE(opened.store->checkpoint().has_value());
+  EXPECT_EQ(opened.store->checkpoint()->chunks, 5u);
+  EXPECT_EQ(opened.store->checkpoint()->seen_keys.size(), 2u);
+  EXPECT_EQ(opened.store->checkpoint()->source_cursor,
+            (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(opened.store->checkpoint()->sink_state,
+            (std::vector<std::uint64_t>{9, 8}));
+  scrub(path);
+}
+
+TEST(VerdictStore, EqualStatesSerializeToIdenticalBytes) {
+  const std::string p1 = temp_path("det1");
+  const std::string p2 = temp_path("det2");
+  scrub(p1);
+  scrub(p2);
+  VerdictStore a(small_meta());
+  VerdictStore b(small_meta());
+  for (int i = 0; i < 50; ++i) {
+    a.set_bit(key_of(i), i % 3, true);
+    b.set_bit(key_of(i), i % 3, true);
+  }
+  ASSERT_TRUE(a.save(p1));
+  ASSERT_TRUE(b.save(p2));
+  EXPECT_EQ(slurp(p1), slurp(p2));
+  scrub(p1);
+  scrub(p2);
+}
+
+TEST(VerdictStore, MissingFileOpensFresh) {
+  const std::string path = temp_path("missing");
+  scrub(path);
+  auto opened = VerdictStore::open(path, small_meta());
+  EXPECT_EQ(opened.outcome, OpenOutcome::Fresh);
+  EXPECT_EQ(opened.store->size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption classes
+// ---------------------------------------------------------------------------
+
+class StoreCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = temp_path("corruption");
+    scrub(path_);
+    VerdictStore store(small_meta());
+    for (int i = 0; i < 40; ++i) store.set_bit(key_of(i), i % 3, true);
+    ASSERT_TRUE(store.save(path_));
+    bytes_ = slurp(path_);
+    ASSERT_GT(bytes_.size(), 60u);
+  }
+
+  void TearDown() override { scrub(path_); }
+
+  /// Opens path_ and expects quarantine: outcome Corrupt, empty store,
+  /// original file moved aside to .corrupt.
+  void expect_quarantined(const std::string& label) {
+    auto opened = VerdictStore::open(path_, small_meta());
+    EXPECT_EQ(opened.outcome, OpenOutcome::Corrupt) << label << ": "
+                                                    << opened.detail;
+    EXPECT_EQ(opened.store->size(), 0u) << label;
+    EXPECT_FALSE(RealFs::instance().exists(path_)) << label;
+    EXPECT_TRUE(RealFs::instance().exists(path_ + ".corrupt")) << label;
+    std::remove((path_ + ".corrupt").c_str());
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(StoreCorruption, TruncationDetected) {
+  spit(path_, bytes_.substr(0, bytes_.size() / 2));
+  expect_quarantined("half file");
+  spit(path_, bytes_.substr(0, 10));  // shorter than the header
+  expect_quarantined("10 bytes");
+}
+
+TEST_F(StoreCorruption, BitFlipAnywhereDetected) {
+  // A flip in the header, in a section tag, and deep in the payload.
+  for (const std::size_t offset :
+       {std::size_t{12}, std::size_t{48}, bytes_.size() - 9}) {
+    std::string damaged = bytes_;
+    damaged[offset] = static_cast<char>(damaged[offset] ^ 0x40);
+    spit(path_, damaged);
+    expect_quarantined("flip at " + std::to_string(offset));
+  }
+}
+
+TEST_F(StoreCorruption, BadMagicDetected) {
+  std::string damaged = bytes_;
+  damaged[0] = 'X';
+  spit(path_, damaged);
+  expect_quarantined("bad magic");
+}
+
+TEST_F(StoreCorruption, TrailingGarbageDetected) {
+  spit(path_, bytes_ + std::string(16, '\xEE'));
+  expect_quarantined("trailing bytes");
+}
+
+TEST_F(StoreCorruption, VersionMismatchIgnoredNotQuarantined) {
+  std::string other = bytes_;
+  other[8] = static_cast<char>(other[8] + 1);  // version u32 after magic
+  // The header checksum covers the version, so a raw byte edit reads as
+  // corruption; a genuine other-version file is simulated by checking
+  // open() against a file whose *checksummed* version differs.  That
+  // needs a writer for version N+1, which this build doesn't have — so
+  // assert the documented fallback instead: damage to the version byte
+  // is caught by the checksum, never silently accepted.
+  spit(path_, other);
+  expect_quarantined("version byte edit");
+}
+
+TEST_F(StoreCorruption, ZooMismatchSelfInvalidatesWithoutQuarantine) {
+  StoreMeta other = small_meta();
+  other.model_keys.push_back("F:delta");
+  auto opened = VerdictStore::open(path_, other);
+  EXPECT_EQ(opened.outcome, OpenOutcome::ZooMismatch) << opened.detail;
+  EXPECT_EQ(opened.store->size(), 0u);
+  // Not bit rot: the original file stays put, no .corrupt appears.
+  EXPECT_TRUE(RealFs::instance().exists(path_));
+  EXPECT_FALSE(RealFs::instance().exists(path_ + ".corrupt"));
+  // And the store self-heals on the next save: the stale file is
+  // replaced by one the new zoo loads cleanly.
+  opened.store->set_bit(key_of(0), 3, true);
+  ASSERT_TRUE(opened.store->save(path_));
+  auto reopened = VerdictStore::open(path_, other);
+  EXPECT_EQ(reopened.outcome, OpenOutcome::Loaded) << reopened.detail;
+  EXPECT_EQ(reopened.store->size(), 1u);
+}
+
+TEST_F(StoreCorruption, LeftoverTempFileIsInertAndOverwritten) {
+  // A concurrent writer (or kill mid-save) leaves path.tmp behind; open
+  // must ignore it and load the real file, and the next save must
+  // replace it without tripping over the leftover.
+  spit(path_ + ".tmp", "partial garbage from a killed writer");
+  auto opened = VerdictStore::open(path_, small_meta());
+  EXPECT_EQ(opened.outcome, OpenOutcome::Loaded) << opened.detail;
+  EXPECT_EQ(opened.store->size(), 40u);
+  opened.store->set_bit(key_of(100), 0, true);
+  ASSERT_TRUE(opened.store->save(path_));
+  auto reopened = VerdictStore::open(path_, small_meta());
+  EXPECT_EQ(reopened.outcome, OpenOutcome::Loaded);
+  EXPECT_EQ(reopened.store->size(), 41u);
+  std::remove((path_ + ".tmp").c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injected save: every failure leaves the previous file intact.
+// ---------------------------------------------------------------------------
+
+class StoreFaults : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = temp_path("faults");
+    scrub(path_);
+    // Commit a known-good generation first.
+    VerdictStore store(small_meta());
+    store.set_bit(key_of(0), 0, true);
+    ASSERT_TRUE(store.save(path_));
+    good_bytes_ = slurp(path_);
+  }
+
+  void TearDown() override { scrub(path_); }
+
+  /// Saves a bigger second generation through `fs` expecting failure,
+  /// then proves the first generation still loads bit for bit.
+  void expect_failed_save_keeps_old_file(FaultFs& fs, const std::string& label) {
+    VerdictStore next(small_meta());
+    for (int i = 0; i < 64; ++i) next.set_bit(key_of(i), i % 3, true);
+    std::string error;
+    EXPECT_FALSE(next.save(path_, &fs, &error)) << label;
+    EXPECT_FALSE(error.empty()) << label;
+    EXPECT_EQ(slurp(path_), good_bytes_) << label;
+    auto opened = VerdictStore::open(path_, small_meta());
+    EXPECT_EQ(opened.outcome, OpenOutcome::Loaded) << label << ": "
+                                                   << opened.detail;
+    EXPECT_EQ(opened.store->size(), 1u) << label;
+  }
+
+  std::string path_;
+  std::string good_bytes_;
+};
+
+TEST_F(StoreFaults, TornWriteFailsSaveAndKeepsOldFile) {
+  FaultFs fs(RealFs::instance());
+  fs.fail_write_after_bytes = 17;  // mid-header: the prefix really lands
+  expect_failed_save_keeps_old_file(fs, "torn write");
+}
+
+TEST_F(StoreFaults, EnospcStyleStickyBudgetFailsSave) {
+  FaultFs fs(RealFs::instance());
+  fs.fail_write_after_bytes = 100;
+  fs.sticky = true;
+  expect_failed_save_keeps_old_file(fs, "sticky byte budget");
+}
+
+TEST_F(StoreFaults, FsyncFailureFailsSave) {
+  FaultFs fs(RealFs::instance());
+  fs.fail_sync_at = 0;
+  expect_failed_save_keeps_old_file(fs, "fsync");
+}
+
+TEST_F(StoreFaults, CreateFailureFailsSave) {
+  FaultFs fs(RealFs::instance());
+  fs.fail_create_at = 0;
+  expect_failed_save_keeps_old_file(fs, "create");
+}
+
+TEST_F(StoreFaults, RenameFailureFailsSave) {
+  FaultFs fs(RealFs::instance());
+  fs.fail_rename_at = 0;
+  expect_failed_save_keeps_old_file(fs, "rename");
+}
+
+TEST_F(StoreFaults, ReadFailureOpensFresh) {
+  FaultFs fs(RealFs::instance());
+  fs.fail_read_at = 0;
+  auto opened = VerdictStore::open(path_, small_meta(), &fs);
+  EXPECT_EQ(opened.outcome, OpenOutcome::Fresh) << opened.detail;
+  EXPECT_EQ(opened.store->size(), 0u);
+  // The unreadable file is left alone (it may be fine for others).
+  EXPECT_TRUE(RealFs::instance().exists(path_));
+}
+
+TEST_F(StoreFaults, SaveRecoversOnceFaultsClear) {
+  FaultFs fs(RealFs::instance());
+  fs.fail_sync_at = 0;
+  VerdictStore next(small_meta());
+  next.set_bit(key_of(5), 1, false);
+  EXPECT_FALSE(next.save(path_, &fs));
+  // Same store, same FaultFs, fault spent: the retry must land.
+  ASSERT_TRUE(next.save(path_, &fs));
+  auto opened = VerdictStore::open(path_, small_meta());
+  EXPECT_EQ(opened.outcome, OpenOutcome::Loaded);
+  ASSERT_TRUE(opened.store->probe_bit(key_of(5), 1).has_value());
+  EXPECT_FALSE(*opened.store->probe_bit(key_of(5), 1));
+}
+
+}  // namespace
+}  // namespace mcmc::store
