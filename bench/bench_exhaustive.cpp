@@ -16,6 +16,13 @@
 //   --max-accesses N    accesses per thread (default 3 = the full space)
 //   --locations N       locations (default 3)
 //   --no-fences         drop the optional fences
+//   --with-deps         extend the space with dependency-carrying slots
+//                       (data-dep reads/writes and ctrl-dep branches
+//                       after a read; ~25.4M tests at default bounds);
+//                       the streamed matrix is then compared against
+//                       the *with-dep* Corollary-1 suite, and with
+//                       --json a no-dep baseline pass additionally
+//                       reports the keys-stage cost ratio
 //   --chunk N           tests per chunk (default 4096)
 //   --threads N         engine threads (default: hardware concurrency)
 //   --backend B         explicit | sat | adaptive (default: adaptive)
@@ -94,6 +101,8 @@ int main(int argc, char** argv) {
       opts.bounds.num_locations = static_cast<int>(v);
     } else if (arg == "--no-fences") {
       opts.bounds.fences = false;
+    } else if (arg == "--with-deps") {
+      opts.bounds.deps = true;
     } else if (arg == "--chunk" && int_arg(1, 1 << 20, v)) {
       opts.chunk_size = static_cast<int>(v);
     } else if (arg == "--threads" && int_arg(0, 4096, v)) {
@@ -136,6 +145,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--max-accesses N] [--locations N] [--no-fences]"
+                   " [--with-deps]"
                    " [--chunk N] [--threads N] [--backend B] [--shards N]"
                    " [--no-filter] [--no-overlap] [--audit] [--verify-serial]"
                    " [--progress N] [--json FILE] [--store FILE] [--resume]"
@@ -280,28 +290,34 @@ int main(int argc, char** argv) {
                  std::to_string(by_suite_dep.distinguished_pairs())});
   std::printf("\n%s\n", table.to_string().c_str());
 
+  // With deps the streamed space contains dependency tests the no-dep
+  // suite cannot match, so the comparison target is the with-dep suite.
+  const auto& by_suite_target =
+      opts.bounds.deps ? by_suite_dep : by_suite_nodep;
+  const char* target_name =
+      opts.bounds.deps ? "with-dep suite" : "no-dep suite";
   bool ok = true;
   bool theorem_identical = false;
   if (full_space) {
-    const bool equal = by_naive == by_suite_nodep;
+    const bool equal = by_naive == by_suite_target;
     theorem_identical = equal;
-    std::printf("naive space vs no-dep suite, bit for bit: %s\n",
+    std::printf("naive space vs %s, bit for bit: %s\n", target_name,
                 equal ? "IDENTICAL (Theorem 1 holds empirically)"
                       : "MISMATCH");
     if (!equal) {
-      for (const auto& [a, b] : by_naive.pairs_beyond(by_suite_nodep)) {
+      for (const auto& [a, b] : by_naive.pairs_beyond(by_suite_target)) {
         std::printf("  naive-only pair: %s vs %s\n", space[a].name().c_str(),
                     space[b].name().c_str());
       }
-      for (const auto& [a, b] : by_suite_nodep.pairs_beyond(by_naive)) {
+      for (const auto& [a, b] : by_suite_target.pairs_beyond(by_naive)) {
         std::printf("  suite-only pair: %s vs %s\n", space[a].name().c_str(),
                     space[b].name().c_str());
       }
     }
     ok = ok && equal;
   } else {
-    const bool subset = by_naive.subset_of(by_suite_nodep);
-    std::printf("sub-space naive <= no-dep suite: %s\n",
+    const bool subset = by_naive.subset_of(by_suite_target);
+    std::printf("sub-space naive <= %s: %s\n", target_name,
                 subset ? "holds" : "VIOLATED");
     ok = ok && subset;
   }
@@ -309,6 +325,35 @@ int main(int argc, char** argv) {
   std::printf("naive <= with-dep suite: %s\n",
               within_dep ? "holds" : "VIOLATED");
   ok = ok && within_dep;
+
+  // ---- Dep keys-cost baseline: with deps on, measure the keys stage
+  // of a plain no-dep stream (keys cost is model-independent, so two
+  // probe models suffice) and report the per-test ratio.  The 2x
+  // budget is reported, not gated — a loaded CI box must not flake the
+  // nightly run. ----
+  const double run_keys_ns = report.stream.keys_ns_per_test();
+  double norun_keys_ns = 0.0;
+  std::size_t nodep_baseline_tests = 0;
+  double nodep_keys_seconds = 0.0;
+  if (opts.bounds.deps && !json_path.empty()) {
+    enumeration::ExhaustiveOptions base_opts = opts;
+    base_opts.bounds.deps = false;
+    base_opts.track_program_classes = false;
+    enumeration::ExhaustiveStream base_stream(base_opts);
+    engine::VerdictEngine base_eng(engine_options);
+    const std::vector<core::MemoryModel> probes = {models[0], models[1]};
+    engine::StreamOptions base_so = harness.stream;
+    base_so.audit_dedup_keys = false;
+    const auto base_stats =
+        base_eng.run_stream(probes, base_stream, nullptr, base_so);
+    norun_keys_ns = base_stats.keys_ns_per_test();
+    nodep_baseline_tests = base_stats.tests_streamed;
+    nodep_keys_seconds = base_stats.stages.keys;
+    std::printf("\nkeys stage per test: dep space %.1f ns, no-dep baseline "
+                "%.1f ns (ratio %.2fx, budget 2x)\n",
+                run_keys_ns, norun_keys_ns,
+                norun_keys_ns > 0 ? run_keys_ns / norun_keys_ns : 0.0);
+  }
 
   // ---- The serial-vs-parallel determinism guard: the same stream run
   // on one thread, no producer overlap, must induce the identical
@@ -359,16 +404,17 @@ int main(int argc, char** argv) {
     }
     const auto& s = report.stream;
     std::fprintf(js, "{\n");
-    std::fprintf(js, "  \"schema_version\": 2,\n");
+    std::fprintf(js, "  \"schema_version\": 3,\n");
     std::fprintf(js, "  \"zoo_fingerprint\": \"%016llx%016llx\",\n",
                  static_cast<unsigned long long>(zoo_fp.hi),
                  static_cast<unsigned long long>(zoo_fp.lo));
     std::fprintf(js,
                  "  \"bounds\": {\"max_accesses_per_thread\": %d, "
-                 "\"num_locations\": %d, \"fences\": %s},\n",
+                 "\"num_locations\": %d, \"fences\": %s, \"deps\": %s},\n",
                  opts.bounds.max_accesses_per_thread,
                  opts.bounds.num_locations,
-                 opts.bounds.fences ? "true" : "false");
+                 opts.bounds.fences ? "true" : "false",
+                 opts.bounds.deps ? "true" : "false");
     std::fprintf(js, "  \"full_space\": %s,\n",
                  full_space ? "true" : "false");
     std::fprintf(js, "  \"chunk_size\": %d,\n", opts.chunk_size);
@@ -388,6 +434,17 @@ int main(int argc, char** argv) {
                  "\"dedup\": %.3f, \"verdict\": %.3f},\n",
                  s.stages.produce, s.stages.keys, s.stages.dedup,
                  s.stages.verdict);
+    std::fprintf(js, "  \"keys_ns_per_test\": %.1f,\n", run_keys_ns);
+    if (norun_keys_ns > 0.0) {
+      std::fprintf(js,
+                   "  \"nodep_baseline\": {\"tests_streamed\": %zu, "
+                   "\"keys_seconds\": %.3f, \"keys_ns_per_test\": %.1f},\n",
+                   nodep_baseline_tests, nodep_keys_seconds, norun_keys_ns);
+      std::fprintf(js, "  \"keys_cost_ratio\": %.3f,\n",
+                   run_keys_ns / norun_keys_ns);
+      std::fprintf(js, "  \"keys_cost_within_2x\": %s,\n",
+                   run_keys_ns <= 2.0 * norun_keys_ns ? "true" : "false");
+    }
     std::fprintf(js, "  \"produce_overlapped\": %s,\n",
                  s.overlapped ? "true" : "false");
     std::fprintf(js, "  \"dedup_audit\": %s,\n",

@@ -226,6 +226,15 @@ struct StreamStats {
 
   /// Fraction of streamed tests served by the cross-chunk dedup.
   [[nodiscard]] double dedup_rate() const;
+  /// Keys-stage cost per streamed test in nanoseconds — the
+  /// fingerprint path's scaling number.  bench_exhaustive reports it
+  /// per space so the dep-extended run is directly comparable against
+  /// the no-dep baseline.
+  [[nodiscard]] double keys_ns_per_test() const {
+    return tests_streamed == 0
+               ? 0.0
+               : stages.keys * 1e9 / static_cast<double>(tests_streamed);
+  }
   [[nodiscard]] std::string to_string() const;
 };
 

@@ -4,13 +4,38 @@
 #include <unordered_set>
 #include <utility>
 
+#include "util/bytes.h"
 #include "util/check.h"
 
 namespace mcmc::enumeration {
 
+namespace {
+
+/// Digest of everything the cursor's meaning depends on: the space
+/// bounds (dep dimension included), the program filter, and the shape
+/// table size they produce.  Embedded in every snapshot so a cursor
+/// from a differently-bounded stream — whose indices may all happen to
+/// be in range here — is rejected instead of silently restoring into
+/// the wrong position of this space.
+std::uint64_t options_digest(const ExhaustiveOptions& o,
+                             std::size_t num_shapes) {
+  std::string bytes;
+  util::append_u64(bytes,
+                   static_cast<std::uint64_t>(o.bounds.max_accesses_per_thread));
+  util::append_u64(bytes, static_cast<std::uint64_t>(o.bounds.num_locations));
+  util::append_u64(bytes, (o.bounds.fences ? 1ULL : 0ULL) |
+                              (o.bounds.deps ? 2ULL : 0ULL) |
+                              (o.communicating_only ? 4ULL : 0ULL));
+  util::append_u64(bytes, num_shapes);
+  return util::hash128(bytes).lo;
+}
+
+}  // namespace
+
 ExhaustiveStream::ExhaustiveStream(ExhaustiveOptions options)
     : options_(options), shapes_(shapes::all_thread_shapes(options.bounds)) {
   MCMC_REQUIRE(options_.chunk_size > 0);
+  cursor_digest_ = options_digest(options_, shapes_.size());
 }
 
 bool ExhaustiveStream::done() const { return exhausted_; }
@@ -62,24 +87,30 @@ void ExhaustiveStream::build_program() {
 
   read_regs_.clear();
   read_domain_.clear();
+  // Reads resolve through for_each_read: a dep-addressed read's domain
+  // comes from its DepConst-resolved target location, not from the
+  // instruction's (kNoLoc) direct-address field.
   for (const auto& thread : program_.threads()) {
-    for (const auto& instr : thread) {
-      if (instr.op != core::Op::Read) continue;
-      read_regs_.push_back(instr.dst);
-      const auto written = values.find(instr.loc);
+    shapes::for_each_read(thread, [&](core::Reg dst, int loc) {
+      read_regs_.push_back(dst);
+      const auto written = values.find(loc);
       read_domain_.push_back(1 +
                              (written == values.end() ? 0 : written->second));
-    }
+    });
   }
 }
 
 namespace {
-constexpr std::uint64_t kCursorVersion = 1;
+// Version 2 added the options digest word (the dep-extended space made
+// in-range-but-wrong stale cursors a real hazard); version-1 cursors
+// are rejected, which degrades a resume to a from-scratch run.
+constexpr std::uint64_t kCursorVersion = 2;
 }  // namespace
 
 bool ExhaustiveStream::snapshot_cursor(std::vector<std::uint64_t>& out) const {
   out.clear();
   out.push_back(kCursorVersion);
+  out.push_back(cursor_digest_);
   out.push_back((exhausted_ ? 1ULL : 0ULL) | (odometer_live_ ? 2ULL : 0ULL));
   out.push_back(i_);
   out.push_back(j_);
@@ -107,27 +138,32 @@ bool ExhaustiveStream::snapshot_cursor(std::vector<std::uint64_t>& out) const {
 bool ExhaustiveStream::restore_cursor(
     const std::vector<std::uint64_t>& cursor) {
   const std::size_t n = shapes_.size();
-  // Validate the fixed-width prefix before touching any state.
-  if (cursor.size() < 11 || cursor[0] != kCursorVersion) return false;
-  const bool exhausted = (cursor[1] & 1ULL) != 0;
-  const bool live = (cursor[1] & 2ULL) != 0;
-  if (cursor[2] > n || cursor[3] >= (n == 0 ? 1 : n)) return false;
-  if (live && (cursor[4] >= n || cursor[5] >= n)) return false;
-  const std::uint64_t odo_len = cursor[10];
-  std::size_t pos = 11 + static_cast<std::size_t>(odo_len);
+  // Validate the fixed-width prefix before touching any state.  The
+  // digest word pins the cursor to this stream's exact space (bounds,
+  // dep dimension, filter, shape-table size).
+  if (cursor.size() < 12 || cursor[0] != kCursorVersion ||
+      cursor[1] != cursor_digest_) {
+    return false;
+  }
+  const bool exhausted = (cursor[2] & 1ULL) != 0;
+  const bool live = (cursor[2] & 2ULL) != 0;
+  if (cursor[3] > n || cursor[4] >= (n == 0 ? 1 : n)) return false;
+  if (live && (cursor[5] >= n || cursor[6] >= n)) return false;
+  const std::uint64_t odo_len = cursor[11];
+  std::size_t pos = 12 + static_cast<std::size_t>(odo_len);
   if (odo_len > cursor.size() || pos >= cursor.size()) return false;
   const std::uint64_t class_count = cursor[pos];
   if ((cursor.size() - pos - 1) != class_count * 2) return false;
 
-  i_ = static_cast<std::size_t>(cursor[2]);
-  j_ = static_cast<std::size_t>(cursor[3]);
-  cur_a_ = static_cast<std::size_t>(cursor[4]);
-  cur_b_ = static_cast<std::size_t>(cursor[5]);
+  i_ = static_cast<std::size_t>(cursor[3]);
+  j_ = static_cast<std::size_t>(cursor[4]);
+  cur_a_ = static_cast<std::size_t>(cursor[5]);
+  cur_b_ = static_cast<std::size_t>(cursor[6]);
   exhausted_ = exhausted;
-  program_index_ = static_cast<long long>(cursor[6]);
-  outcome_index_ = static_cast<long long>(cursor[7]);
-  emitted_.programs = static_cast<long long>(cursor[8]);
-  emitted_.tests = static_cast<long long>(cursor[9]);
+  program_index_ = static_cast<long long>(cursor[7]);
+  outcome_index_ = static_cast<long long>(cursor[8]);
+  emitted_.programs = static_cast<long long>(cursor[9]);
+  emitted_.tests = static_cast<long long>(cursor[10]);
   odometer_live_ = live;
 
   const auto reject = [this] {
@@ -149,7 +185,7 @@ bool ExhaustiveStream::restore_cursor(
     if (odo_len != read_regs_.size()) return reject();
     odometer_.resize(read_regs_.size());
     for (std::size_t k = 0; k < odometer_.size(); ++k) {
-      const std::uint64_t v = cursor[11 + k];
+      const std::uint64_t v = cursor[12 + k];
       if (v >= static_cast<std::uint64_t>(read_domain_[k])) return reject();
       odometer_[k] = static_cast<int>(v);
     }
@@ -209,8 +245,9 @@ ExhaustiveCounts ExhaustiveStream::count(const ExhaustiveOptions& options) {
     for (const auto& b : shapes) {
       if (options.communicating_only && !shapes::communicates(a, b)) continue;
       ++counts.programs;
-      counts.tests +=
-          shapes::outcome_count(a, b, options.bounds.num_locations);
+      counts.tests = shapes::checked_add(
+          counts.tests,
+          shapes::outcome_count(a, b, options.bounds.num_locations));
     }
   }
   return counts;

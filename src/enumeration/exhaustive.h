@@ -75,10 +75,13 @@ class ExhaustiveStream final : public engine::TestSource {
   [[nodiscard]] bool snapshot_cursor(
       std::vector<std::uint64_t>& out) const override;
 
-  /// Restores a snapshot; validates every field against this stream's
-  /// shape table before adopting it and resets to a fresh stream on
-  /// rejection, so a stale cursor (changed bounds) can only cause a
-  /// from-scratch run, never a diverged one.
+  /// Restores a snapshot; the cursor carries a digest of the options
+  /// that produced it (bounds, dep dimension, filter, shape-table
+  /// size), so a cursor from any differently-bounded stream is rejected
+  /// outright — even when its raw indices would be in range here — and
+  /// every field is additionally validated against this stream's shape
+  /// table.  Rejection resets to a fresh stream, so a stale cursor can
+  /// only cause a from-scratch run, never a diverged one.
   [[nodiscard]] bool restore_cursor(
       const std::vector<std::uint64_t>& cursor) override;
 
@@ -106,6 +109,7 @@ class ExhaustiveStream final : public engine::TestSource {
 
   ExhaustiveOptions options_;
   std::vector<shapes::ThreadShape> shapes_;
+  std::uint64_t cursor_digest_ = 0;  ///< pins cursors to these options
   ExhaustiveCounts emitted_;
 
   std::size_t i_ = 0;  ///< first-thread shape index

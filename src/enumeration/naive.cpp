@@ -51,8 +51,9 @@ NaiveCounts count_naive(const NaiveOptions& options) {
       }
       if (canonical.insert(best).second) {
         ++counts.reduced_programs;
-        counts.reduced_tests +=
-            shapes::outcome_count(shapes[i], shapes[j], options.num_locations);
+        counts.reduced_tests = shapes::checked_add(
+            counts.reduced_tests,
+            shapes::outcome_count(shapes[i], shapes[j], options.num_locations));
       }
     }
   }
@@ -75,18 +76,18 @@ std::vector<litmus::LitmusTest> sample_naive_tests(const NaiveOptions& options,
     p.add_thread(shapes::materialize(a, values, next_reg));
     p.add_thread(shapes::materialize(b, values, next_reg));
     // Sample an outcome: each read gets the initial value or any value
-    // written to its location.
+    // written to its location.  Reads resolve through for_each_read so
+    // a dep-addressed (register-indirect) read samples from its real
+    // target location's domain, not from kNoLoc's.
     core::Outcome outcome;
     for (const auto& th : p.threads()) {
-      for (const auto& instr : th) {
-        if (instr.op != core::Op::Read) continue;
-        const int num_written = values.count(instr.loc) != 0
-                                    ? values.at(instr.loc)
-                                    : 0;
-        outcome.require(instr.dst,
+      shapes::for_each_read(th, [&](core::Reg dst, int loc) {
+        const auto written = values.find(loc);
+        const int num_written = written == values.end() ? 0 : written->second;
+        outcome.require(dst,
                         static_cast<int>(rng.below(
                             static_cast<std::uint64_t>(num_written) + 1)));
-      }
+      });
     }
     out.emplace_back("naive" + std::to_string(n), std::move(p),
                      std::move(outcome));

@@ -32,6 +32,12 @@ struct NaiveOptions {
   int max_accesses_per_thread = 3;
   int num_locations = 3;
   bool fences = true;
+  /// Extend slots with the paper's dependency idioms (data-dependent
+  /// addresses and store values, control-dependent accesses) — the
+  /// space Theorem 1 actually quantifies over with the full predicate
+  /// set.  Off by default: the dependency-free space (and its exact
+  /// historical enumeration order) is unchanged.
+  bool deps = false;
 };
 
 /// Counting results over the naive space.

@@ -6,19 +6,46 @@
 
 namespace mcmc::enumeration::shapes {
 
+bool well_formed(const ThreadShape& shape) {
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    const Sep sep = shape[i].sep;
+    if (i == 0) {
+      // No predecessor: any separator here would be silently
+      // meaningless, so it is rejected outright.
+      if (sep != Sep::None) return false;
+    } else if ((sep == Sep::DataDep || sep == Sep::CtrlDep) &&
+               !shape[i - 1].is_read) {
+      return false;  // only a read produces a value to depend on
+    }
+  }
+  return true;
+}
+
 std::vector<ThreadShape> all_thread_shapes(const NaiveOptions& o) {
   std::vector<ThreadShape> out;
   ThreadShape current;
-  // Depth-first over slots.
-  const int fence_options = o.fences ? 2 : 1;
+  // Depth-first over slots.  Separator candidates are tried in enum
+  // order (None, Fence, DataDep, CtrlDep), so with deps off the
+  // sequence is byte-identical to the historical fence-only order.
+  constexpr Sep kSeps[] = {Sep::None, Sep::Fence, Sep::DataDep, Sep::CtrlDep};
   auto rec = [&](auto&& self, int depth) -> void {
-    if (!current.empty()) out.push_back(current);
+    if (!current.empty()) {
+      MCMC_CHECK_MSG(well_formed(current),
+                     "generator emitted an ill-formed shape");
+      out.push_back(current);
+    }
     if (depth == o.max_accesses_per_thread) return;
-    for (int fence = 0; fence < (current.empty() ? 1 : fence_options);
-         ++fence) {
+    for (const Sep sep : kSeps) {
+      if (current.empty()) {
+        if (sep != Sep::None) continue;  // first slot has no predecessor
+      } else if (sep == Sep::Fence) {
+        if (!o.fences) continue;
+      } else if (sep == Sep::DataDep || sep == Sep::CtrlDep) {
+        if (!o.deps || !current.back().is_read) continue;
+      }
       for (const bool is_read : {false, true}) {
         for (int loc = 0; loc < o.num_locations; ++loc) {
-          current.push_back({is_read, loc, fence != 0});
+          current.push_back({is_read, loc, sep});
           self(self, depth + 1);
           current.pop_back();
         }
@@ -30,9 +57,15 @@ std::vector<ThreadShape> all_thread_shapes(const NaiveOptions& o) {
 }
 
 std::string encode(const ThreadShape& t, const std::vector<int>& loc_perm) {
+  MCMC_REQUIRE_MSG(well_formed(t), "encode: ill-formed shape");
   std::string s;
   for (const auto& a : t) {
-    if (a.fence_before) s += 'f';
+    switch (a.sep) {
+      case Sep::None: break;
+      case Sep::Fence: s += 'f'; break;
+      case Sep::DataDep: s += 'd'; break;
+      case Sep::CtrlDep: s += 'c'; break;
+    }
     s += a.is_read ? 'R' : 'W';
     s += static_cast<char>('0' + loc_perm[static_cast<std::size_t>(a.loc)]);
   }
@@ -50,7 +83,10 @@ long long outcome_count(const ThreadShape& a, const ThreadShape& b,
   long long count = 1;
   for (const auto* t : {&a, &b}) {
     for (const auto& acc : *t) {
-      if (acc.is_read) count *= 1 + writes[static_cast<std::size_t>(acc.loc)];
+      if (acc.is_read) {
+        count = checked_mul(count,
+                            1 + writes[static_cast<std::size_t>(acc.loc)]);
+      }
     }
   }
   return count;
@@ -84,13 +120,42 @@ std::vector<std::vector<int>> location_permutations(int n) {
 
 core::Thread materialize(const ThreadShape& shape, std::map<int, int>& values,
                          core::Reg& next_reg) {
+  MCMC_REQUIRE_MSG(well_formed(shape), "materialize: ill-formed shape");
   core::Thread t;
+  core::Reg prev_read = core::kNoReg;  // register of the preceding read slot
   for (const auto& a : shape) {
-    if (a.fence_before) t.push_back(core::make_fence());
+    switch (a.sep) {
+      case Sep::None:
+      case Sep::DataDep:
+        break;
+      case Sep::Fence:
+        t.push_back(core::make_fence());
+        break;
+      case Sep::CtrlDep:
+        t.push_back(core::make_branch(prev_read));
+        break;
+    }
     if (a.is_read) {
-      t.push_back(core::make_read(a.loc, next_reg++));
+      if (a.sep == Sep::DataDep) {
+        // TestBuilder::dep_read: t = r - r + loc ; Read [t] -> r'
+        const core::Reg tmp = next_reg++;
+        t.push_back(core::make_dep_const(tmp, prev_read, a.loc));
+        t.push_back(core::make_read_indirect(tmp, next_reg));
+      } else {
+        t.push_back(core::make_read(a.loc, next_reg));
+      }
+      prev_read = next_reg++;
     } else {
-      t.push_back(core::make_write(a.loc, ++values[a.loc]));
+      const int v = ++values[a.loc];
+      if (a.sep == Sep::DataDep) {
+        // TestBuilder::dep_write: t = r - r + v ; Write loc <- t
+        const core::Reg tmp = next_reg++;
+        t.push_back(core::make_dep_const(tmp, prev_read, v));
+        t.push_back(core::make_write_from_reg(a.loc, tmp));
+      } else {
+        t.push_back(core::make_write(a.loc, v));
+      }
+      prev_read = core::kNoReg;  // a write yields no value to depend on
     }
   }
   return t;

@@ -74,6 +74,7 @@ std::string to_string(OpenOutcome outcome) {
     case OpenOutcome::Fresh: return "fresh";
     case OpenOutcome::Loaded: return "loaded";
     case OpenOutcome::VersionMismatch: return "version-mismatch";
+    case OpenOutcome::SchemaMismatch: return "schema-mismatch";
     case OpenOutcome::ZooMismatch: return "zoo-mismatch";
     case OpenOutcome::Corrupt: return "corrupt";
   }
@@ -188,7 +189,7 @@ std::string VerdictStore::serialize() const {
   util::append_u32(out, static_cast<std::uint32_t>(meta_.num_models()));
   util::append_key128(out, meta_.zoo_fingerprint());
   util::append_u32(out, checkpoint_.has_value() ? 2u : 1u);  // section count
-  util::append_u32(out, 0);
+  util::append_u32(out, meta_.schema);  // was reserved-as-0 before schema v2
   MCMC_CHECK_MSG(out.size() == kHeaderBytes, "store header layout drifted");
   util::append_key128(out, util::hash128(out.data(), kHeaderBytes));
 
@@ -279,7 +280,7 @@ OpenResult VerdictStore::open(const std::string& path, StoreMeta meta,
   const std::uint32_t num_models = r.read_u32();
   const util::Key128 zoo = r.read_key128();
   const std::uint32_t section_count = r.read_u32();
-  (void)r.read_u32();  // reserved
+  const std::uint32_t schema = r.read_u32();
   const util::Key128 header_sum = r.read_key128();
   if (!r.ok()) return corrupt("truncated header");
   if (header_sum != util::hash128(bytes.data(), kHeaderBytes)) {
@@ -288,6 +289,15 @@ OpenResult VerdictStore::open(const std::string& path, StoreMeta meta,
   if (version != kStoreFormatVersion) {
     result.outcome = OpenOutcome::VersionMismatch;
     result.detail = "store format version " + std::to_string(version);
+    return result;
+  }
+  if (schema != store.meta_.schema) {
+    // The entries were keyed by an older generator/canonicalization
+    // (pre-schema files wrote 0 here): every fingerprint and cursor in
+    // them may mean something else now, so none of it is adopted.
+    result.outcome = OpenOutcome::SchemaMismatch;
+    result.detail = "generator schema " + std::to_string(schema) + " (want " +
+                    std::to_string(store.meta_.schema) + ")";
     return result;
   }
   if (num_models != static_cast<std::uint32_t>(store.num_models()) ||

@@ -19,10 +19,13 @@
 //     so truncation, torn writes, and bit flips are detected, not
 //     propagated into verdicts.
 //   * Invalidation: the header carries a fingerprint of the model zoo
-//     the verdict columns were computed against.  Open with a
-//     different zoo and the file self-invalidates (ignored, rebuilt on
-//     next save) — a stale cache can never serve a verdict for the
-//     wrong model.
+//     the verdict columns were computed against AND the
+//     generator/canonicalization schema version they were keyed under
+//     (kSpaceSchemaVersion).  Open with a different zoo or schema and
+//     the file self-invalidates (ignored, rebuilt on next save) — a
+//     stale cache can never serve a verdict for the wrong model, and a
+//     cache written under an older fingerprint/space schema can never
+//     mix its rows into a newer run.
 //   * Graceful degradation: a corrupt file is quarantined (renamed to
 //     `path + ".corrupt"`) and open() returns an empty store; callers
 //     recompute and repopulate.  Recovery never throws, never crashes,
@@ -57,6 +60,18 @@ namespace mcmc::store {
 /// different build, not to bit rot).
 inline constexpr std::uint32_t kStoreFormatVersion = 1;
 
+/// Generator/canonicalization schema the verdict rows were computed
+/// under; bumped whenever the meaning of a canonical fingerprint or of
+/// a stream cursor changes (new space dimensions, fingerprint layout
+/// changes) even though the file layout itself does not.  The zoo
+/// fingerprint alone cannot catch that drift — the models may be
+/// identical while every key means something else.  Files written
+/// before this field existed carry 0 in the (then reserved) header
+/// slot, so they self-invalidate against any real version.
+///   2 = dependency-extended generator (data/ctrl dep slots, digest-
+///       pinned stream cursors); pre-dep stores wrote 0.
+inline constexpr std::uint32_t kSpaceSchemaVersion = 2;
+
 /// The engine-compatible cache key of a model: the same string the
 /// VerdictEngine keys its persistent cache by, so store columns and
 /// engine model classes match by string equality.  Empty for formulas
@@ -70,6 +85,9 @@ inline constexpr std::uint32_t kStoreFormatVersion = 1;
 /// reordering, renaming a formula, or resizing the zoo all invalidate).
 struct StoreMeta {
   std::vector<std::string> model_keys;
+  /// Schema the entries are valid under (see kSpaceSchemaVersion);
+  /// callers normally leave the default.
+  std::uint32_t schema = kSpaceSchemaVersion;
 
   [[nodiscard]] static StoreMeta from_models(
       const std::vector<core::MemoryModel>& models);
@@ -129,6 +147,7 @@ enum class OpenOutcome {
   Fresh,            ///< no file (or unreadable): empty store
   Loaded,           ///< parsed, verified, adopted
   VersionMismatch,  ///< other format version: ignored, not quarantined
+  SchemaMismatch,   ///< other generator/fingerprint schema: self-invalidated
   ZooMismatch,      ///< different model zoo: self-invalidated
   Corrupt,          ///< checksum/structure failure: quarantined
 };

@@ -10,12 +10,14 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "enumeration/exhaustive.h"
 #include "enumeration/naive.h"
+#include "enumeration/shapes.h"
 #include "enumeration/suite.h"
 #include "litmus/catalog.h"
 #include "litmus/test.h"
@@ -75,6 +77,77 @@ LitmusTest reverse_values(const LitmusTest& test) {
         read_loc[instr.dst] = instr.loc;
       }
     }
+  }
+  core::Outcome outcome;
+  for (const auto& [reg, value] : test.outcome().constraints()) {
+    const auto it = read_loc.find(reg);
+    outcome.require(reg, it == read_loc.end() ? value
+                                              : remap(it->second, value));
+  }
+  return LitmusTest(test.name(), core::Program(std::move(threads)),
+                    std::move(outcome));
+}
+
+/// Dep-aware location permutation: direct addresses plus the DepConst
+/// constants that encode a read's indirect address (dep_read idiom).
+LitmusTest permute_locations_dep(const LitmusTest& test,
+                                 const std::vector<int>& perm) {
+  std::vector<core::Thread> threads = test.program().threads();
+  for (auto& thread : threads) {
+    std::set<core::Reg> addr_regs;
+    for (const auto& instr : thread) {
+      if (instr.op == core::Op::Read && instr.addr_reg >= 0) {
+        addr_regs.insert(instr.addr_reg);
+      }
+    }
+    for (auto& instr : thread) {
+      if (instr.is_memory_access() && instr.addr_reg < 0) {
+        instr.loc = perm[static_cast<std::size_t>(instr.loc)];
+      } else if (instr.op == core::Op::DepConst &&
+                 addr_regs.count(instr.dst) != 0) {
+        instr.value = perm[static_cast<std::size_t>(instr.value)];
+      }
+    }
+  }
+  return LitmusTest(test.name(), core::Program(std::move(threads)),
+                    test.outcome());
+}
+
+/// Dep-aware value renaming: like reverse_values, but register-valued
+/// writes (dep_write idiom) are renamed through their defining DepConst,
+/// and outcome constraints of dep-addressed reads resolve their real
+/// location first.
+LitmusTest reverse_values_dep(const LitmusTest& test) {
+  std::map<core::Loc, int> writes;
+  for (const auto& thread : test.program().threads()) {
+    for (const auto& instr : thread) {
+      if (instr.op == core::Op::Write) ++writes[instr.loc];
+    }
+  }
+  auto remap = [&](core::Loc loc, int value) {
+    return value == 0 ? 0 : writes[loc] + 1 - value;
+  };
+
+  std::vector<core::Thread> threads = test.program().threads();
+  std::map<core::Reg, core::Loc> read_loc;
+  for (auto& thread : threads) {
+    for (std::size_t i = 0; i < thread.size(); ++i) {
+      auto& instr = thread[i];
+      if (instr.op != core::Op::Write) continue;
+      if (!instr.value_from_reg) {
+        instr.value = remap(instr.loc, instr.value);
+        continue;
+      }
+      for (std::size_t k = i; k-- > 0;) {
+        auto& def = thread[k];
+        if (def.op == core::Op::DepConst && def.dst == instr.src) {
+          def.value = remap(instr.loc, def.value);
+          break;
+        }
+      }
+    }
+    enumeration::shapes::for_each_read(
+        thread, [&](core::Reg dst, int loc) { read_loc[dst] = loc; });
   }
   core::Outcome outcome;
   for (const auto& [reg, value] : test.outcome().constraints()) {
@@ -168,6 +241,57 @@ TEST(CanonicalProperty, FingerprintInvariantUnderRandomSymmetryChains) {
   }
 }
 
+TEST(CanonicalProperty, DepKeyAndFingerprintInvariantUnderSymmetryChains) {
+  // The same symmetry-group invariance over a dependency-carrying
+  // corpus: samples from the dep-extended naive space (DepConst chains,
+  // indirect reads, register-valued writes, branches), transformed with
+  // the dep-aware permutation and renaming above.
+  enumeration::NaiveOptions bounds;
+  bounds.deps = true;
+  const auto tests = enumeration::sample_naive_tests(bounds, 150, 0xD095);
+  util::Rng rng(17);
+  litmus::KeyScratch scratch;
+  std::vector<int> perm = {0, 1, 2};
+  bool saw_dep = false;
+  for (const auto& test : tests) {
+    for (const auto& thread : test.program().threads()) {
+      for (const auto& instr : thread) {
+        saw_dep = saw_dep || instr.op == core::Op::DepConst ||
+                  instr.op == core::Op::Branch;
+      }
+    }
+    const std::string key = litmus::canonical_key(test);
+    const util::Key128 fp = litmus::canonical_fingerprint(test, scratch);
+    LitmusTest current = test;
+    for (int step = 0; step < 4; ++step) {
+      switch (rng.below(3)) {
+        case 0: {
+          std::vector<int> p = perm;
+          for (std::size_t i = p.size(); i > 1; --i) {
+            std::swap(p[i - 1], p[rng.below(i)]);
+          }
+          current = permute_locations_dep(current, p);
+          break;
+        }
+        case 1:
+          current = swap_threads(current);
+          break;
+        default:
+          current = reverse_values_dep(current);
+          break;
+      }
+      EXPECT_EQ(litmus::canonical_key(current), key)
+          << "after step " << step << "\noriginal:\n" << test.to_string()
+          << "transformed:\n" << current.to_string();
+      EXPECT_EQ(litmus::canonical_fingerprint(current, scratch), fp)
+          << "after step " << step << "\noriginal:\n" << test.to_string()
+          << "transformed:\n" << current.to_string();
+    }
+  }
+  // The sample must actually contain dependency idioms.
+  EXPECT_TRUE(saw_dep);
+}
+
 TEST(CanonicalProperty, FingerprintClassesMatchLegacyKeyClasses) {
   // The differential heart of the fingerprint: over a corpus mixing
   // naive-space samples (duplicate-rich tiny bounds included), the
@@ -187,6 +311,11 @@ TEST(CanonicalProperty, FingerprintClassesMatchLegacyKeyClasses) {
     tiny.fences = false;
     for (auto& t : enumeration::sample_naive_tests(tiny, 150, 31337)) {
       corpus.push_back(std::move(t));  // plenty of symmetric duplicates
+    }
+    enumeration::NaiveOptions dep_bounds;
+    dep_bounds.deps = true;
+    for (auto& t : enumeration::sample_naive_tests(dep_bounds, 200, 0xDEED)) {
+      corpus.push_back(std::move(t));  // generated dep idioms
     }
     for (auto& t : enumeration::corollary1_suite(true)) {
       corpus.push_back(std::move(t));  // data/ctrl deps, indirect addresses
@@ -276,10 +405,12 @@ TEST(CanonicalProperty, ReducedProgramClassesMatchNaiveCountsExactly) {
   // exchange) program for program: the key's extra power (value
   // renaming) is exactly what makes material programs with symmetric
   // shapes collapse the same way the shape encoding does.
-  enumeration::ExhaustiveOptions configs[3];
+  enumeration::ExhaustiveOptions configs[4];
   configs[0].bounds = {2, 1, false};  // the hand-counted tiny space
   configs[1].bounds = {2, 2, true};
   configs[2].bounds = {2, 3, true};
+  configs[3].bounds = {2, 2, true};
+  configs[3].bounds.deps = true;  // dependency-extended slice
   for (const auto& base : configs) {
     enumeration::ExhaustiveOptions options = base;
     options.communicating_only = true;

@@ -72,6 +72,52 @@ TEST(EnumerationFuzz, BackendsAgreeBitForBitOnSampledTests) {
   }
 }
 
+TEST(EnumerationFuzz, BackendsAgreeBitForBitOnDepSampledTests) {
+  // The same three-pipeline differential, over the dependency-extended
+  // sample space: DepConst chains, indirect reads, register-valued
+  // writes, and branches flow through analysis, preparation, and SAT
+  // encoding — and here the models' dependency digits are live, not
+  // inert.
+  enumeration::NaiveOptions bounds;
+  bounds.deps = true;
+  const auto tests = enumeration::sample_naive_tests(bounds, 300, 0x0DD5EED5);
+  const auto models = model_sample();
+
+  bool saw_dep = false;
+  for (const auto& test : tests) {
+    for (const auto& thread : test.program().threads()) {
+      for (const auto& instr : thread) {
+        saw_dep = saw_dep || instr.op == core::Op::DepConst ||
+                  instr.op == core::Op::Branch;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_dep);
+
+  engine::EngineOptions prepared_explicit;
+  prepared_explicit.backend = engine::Backend::Explicit;
+  engine::EngineOptions per_cell = prepared_explicit;
+  per_cell.prepared = false;
+  engine::EngineOptions sat;
+  sat.backend = engine::Backend::Sat;
+
+  engine::VerdictEngine eng_prepared(prepared_explicit);
+  engine::VerdictEngine eng_per_cell(per_cell);
+  engine::VerdictEngine eng_sat(sat);
+
+  const auto bits_prepared = eng_prepared.run_matrix(models, tests);
+  EXPECT_EQ(bits_prepared, eng_per_cell.run_matrix(models, tests));
+  EXPECT_EQ(bits_prepared, eng_sat.run_matrix(models, tests));
+
+  for (std::size_t i = 0; i < tests.size(); i += 29) {
+    const std::size_t m = i % models.size();
+    const core::Analysis an(tests[i].program());
+    EXPECT_EQ(bits_prepared.get(static_cast<int>(m), static_cast<int>(i)),
+              core::is_allowed(an, models[m], tests[i].outcome()))
+        << models[m].name() << " on " << tests[i].name();
+  }
+}
+
 TEST(EnumerationFuzz, CacheAndDedupDoNotChangeVerdicts) {
   // A deliberately tiny sample space (36 programs), so the sample is
   // full of canonically symmetric duplicates.
@@ -107,6 +153,34 @@ TEST(EnumerationFuzz, StreamFingerprintDedupMatchesLegacyKeyClasses) {
   bounds.num_locations = 2;
   bounds.max_accesses_per_thread = 2;
   auto tests = enumeration::sample_naive_tests(bounds, 400, 0xBEEF);
+
+  std::set<std::string> legacy_classes;
+  for (const auto& test : tests) {
+    legacy_classes.insert(litmus::canonical_key(test));
+  }
+
+  const std::vector<core::MemoryModel> models = {models::sc(), models::tso()};
+  engine::VectorSource source(std::move(tests), 64);
+  engine::VerdictEngine eng;
+  engine::StreamOptions stream_options;
+  stream_options.audit_dedup_keys = true;
+  const auto stats = eng.run_stream(models, source, nullptr, stream_options);
+
+  EXPECT_EQ(stats.novel_tests, legacy_classes.size());
+  EXPECT_GT(stats.duplicate_tests, 0u);
+}
+
+TEST(EnumerationFuzz, StreamFingerprintDedupMatchesLegacyKeyClassesWithDeps) {
+  // The fingerprint/string-key audit over a dependency-carrying sample:
+  // KeyFacts' dep bitmasks, DepConst constants, and indirect-address
+  // resolution all feed canonical_fingerprint, so the novel count must
+  // still equal the number of distinct legacy canonical_key strings,
+  // with the two-direction audit on throughout.
+  enumeration::NaiveOptions bounds;
+  bounds.num_locations = 2;
+  bounds.max_accesses_per_thread = 2;
+  bounds.deps = true;
+  auto tests = enumeration::sample_naive_tests(bounds, 400, 0xDE9C0DE);
 
   std::set<std::string> legacy_classes;
   for (const auto& test : tests) {

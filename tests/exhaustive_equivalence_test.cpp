@@ -26,6 +26,12 @@ enumeration::ExhaustiveOptions slice_options() {
   return options;
 }
 
+enumeration::ExhaustiveOptions dep_slice_options() {
+  enumeration::ExhaustiveOptions options = slice_options();
+  options.bounds.deps = true;
+  return options;
+}
+
 std::vector<core::MemoryModel> ninety_models() {
   std::vector<core::MemoryModel> models;
   for (const auto& c : explore::model_space(true)) models.push_back(c.to_model());
@@ -69,6 +75,81 @@ TEST(ExhaustiveStream, FullSpaceCountsMatchNaiveCounts) {
   EXPECT_EQ(counts.tests, naive.tests);
   EXPECT_EQ(counts.programs, 887364);
   EXPECT_EQ(counts.tests, 5160270);
+}
+
+TEST(ExhaustiveStream, DepSliceMaterializationMatchesCountingWalk) {
+  // The dependency-extended 2-access sub-space: 114 shapes (78 no-dep
+  // plus 36 carrying a data/ctrl dep after a leading read).
+  const auto options = dep_slice_options();
+  const auto counted = enumeration::ExhaustiveStream::count(options);
+  EXPECT_EQ(counted.programs, 114LL * 114LL);
+  EXPECT_EQ(counted.tests, 28470);
+
+  enumeration::ExhaustiveStream stream(options);
+  std::vector<litmus::LitmusTest> chunk;
+  bool more = true;
+  while (more) {
+    chunk.clear();
+    more = stream.next_chunk(chunk);
+    for (const auto& test : chunk) {
+      EXPECT_NO_THROW(test.program().validate());
+      EXPECT_EQ(test.program().num_threads(), 2);
+    }
+  }
+  EXPECT_TRUE(stream.done());
+  EXPECT_EQ(stream.emitted().programs, counted.programs);
+  EXPECT_EQ(stream.emitted().tests, counted.tests);
+}
+
+TEST(ExhaustiveStream, DepFullSpaceCountsMatchNaiveCounts) {
+  // The with-dep Theorem-1 space: ~25.4M tests, a ~5x blow-up over the
+  // no-dep 5,160,270 (streamed end to end in the nightly slow suite).
+  enumeration::ExhaustiveOptions options;
+  options.bounds.deps = true;
+  const auto counts = enumeration::ExhaustiveStream::count(options);
+  enumeration::NaiveOptions naive_bounds;
+  naive_bounds.deps = true;
+  const auto naive = enumeration::count_naive(naive_bounds);
+  EXPECT_EQ(counts.programs, naive.programs);
+  EXPECT_EQ(counts.tests, naive.tests);
+  EXPECT_EQ(counts.programs, 4235364);
+  EXPECT_EQ(counts.tests, 25435926);
+}
+
+TEST(ExhaustiveStream, CursorIsRejectedAcrossDepBoundaryChanges) {
+  // A checkpoint cursor saved against one enumeration space must never
+  // be adopted by a stream over a different one: the same (i, j,
+  // odometer) coordinates name a different program there, so a resume
+  // would silently skip part of the space.  The cursor carries an
+  // options digest; restore must fail cleanly in both directions and
+  // leave the stream in a usable from-scratch state.
+  enumeration::ExhaustiveStream nodep(slice_options());
+  enumeration::ExhaustiveStream dep(dep_slice_options());
+  std::vector<litmus::LitmusTest> chunk;
+  (void)nodep.next_chunk(chunk);
+  chunk.clear();
+  (void)dep.next_chunk(chunk);
+
+  std::vector<std::uint64_t> nodep_cursor;
+  std::vector<std::uint64_t> dep_cursor;
+  ASSERT_TRUE(nodep.snapshot_cursor(nodep_cursor));
+  ASSERT_TRUE(dep.snapshot_cursor(dep_cursor));
+
+  enumeration::ExhaustiveStream dep_restored(dep_slice_options());
+  EXPECT_FALSE(dep_restored.restore_cursor(nodep_cursor));
+  enumeration::ExhaustiveStream nodep_restored(slice_options());
+  EXPECT_FALSE(nodep_restored.restore_cursor(dep_cursor));
+  // Matching spaces still round-trip.
+  EXPECT_TRUE(dep_restored.restore_cursor(dep_cursor));
+  EXPECT_TRUE(nodep_restored.restore_cursor(nodep_cursor));
+
+  // The rejected stream is reset, not wedged: draining it yields the
+  // full slice.
+  enumeration::ExhaustiveStream fresh(dep_slice_options());
+  EXPECT_FALSE(fresh.restore_cursor(nodep_cursor));
+  chunk.clear();
+  while (fresh.next_chunk(chunk)) chunk.clear();
+  EXPECT_EQ(fresh.emitted().tests, 28470);
 }
 
 TEST(RunStream, ChunkAccountingAndCrossChunkDedup) {
@@ -179,6 +260,31 @@ TEST(TheoremSlice, DistinguishabilityContainedInSuiteMatrices) {
   // Harness accounting.
   EXPECT_EQ(report.stream.tests_streamed, 13086u);
   EXPECT_GT(report.candidate_tests, 0u);
+  EXPECT_EQ(report.candidate_tests + report.filtered_tests,
+            report.stream.novel_tests);
+}
+
+TEST(TheoremSlice, DepSliceDistinguishabilityContainedInDepSuite) {
+  // The dependency-extended 2-access slice: still Theorem-1 bounded, so
+  // its matrix must be contained in the with-dep suite's; and since its
+  // space strictly includes the no-dep slice's, it separates at least
+  // as many pairs (measured: 3,825 from the no-dep slice).
+  const auto models = ninety_models();
+  engine::VerdictEngine eng;
+  const auto by_suite_dep = explore::distinguishability(
+      eng, models, enumeration::corollary1_suite(true));
+
+  enumeration::ExhaustiveStream stream(dep_slice_options());
+  explore::TheoremHarnessReport report;
+  const auto by_slice = explore::distinguishability_streamed(
+      eng, models, stream, explore::TheoremHarnessOptions{}, &report);
+
+  EXPECT_TRUE(by_slice.subset_of(by_suite_dep));
+  EXPECT_TRUE(by_slice.pairs_beyond(by_suite_dep).empty());
+  EXPECT_GE(by_slice.distinguished_pairs(), 3825);
+  EXPECT_LE(by_slice.distinguished_pairs(),
+            by_suite_dep.distinguished_pairs());
+  EXPECT_EQ(report.stream.tests_streamed, 28470u);
   EXPECT_EQ(report.candidate_tests + report.filtered_tests,
             report.stream.novel_tests);
 }

@@ -144,7 +144,11 @@ void expect_matches_reference(const SliceRun& run) {
 class StoreRecovery : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "recovery_store.mcvs";
+    // Per-case path: ctest registers each case as its own test, so
+    // parallel runs would clobber a shared file.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = ::testing::TempDir() + "recovery_store_" +
+            std::string(info->name()) + ".mcvs";
     scrub();
   }
   void TearDown() override { scrub(); }

@@ -15,6 +15,7 @@
 #include "core/model.h"
 #include "store/fs.h"
 #include "store/verdict_store.h"
+#include "util/bytes.h"
 #include "util/hash128.h"
 
 namespace mcmc::store {
@@ -188,7 +189,8 @@ TEST(VerdictStore, MissingFileOpensFresh) {
 class StoreCorruption : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = temp_path("corruption");
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = temp_path(std::string("corruption_") + info->name());
     scrub(path_);
     VerdictStore store(small_meta());
     for (int i = 0; i < 40; ++i) store.set_bit(key_of(i), i % 3, true);
@@ -276,6 +278,38 @@ TEST_F(StoreCorruption, ZooMismatchSelfInvalidatesWithoutQuarantine) {
   EXPECT_EQ(reopened.store->size(), 1u);
 }
 
+TEST_F(StoreCorruption, SchemaMismatchSelfInvalidatesWithoutQuarantine) {
+  // Simulate a pre-dependency-generator store: same format version,
+  // older space-schema word (header bytes 36..39, 0 in pre-schema
+  // files), header checksum fixed up so the file is structurally
+  // valid.  Every fingerprint and stream cursor inside such a file was
+  // computed against a different enumeration space, so open() must
+  // self-invalidate it rather than serve stale verdicts.
+  for (const std::uint32_t old_schema : {0u, kSpaceSchemaVersion - 1}) {
+    std::string old_file = bytes_;
+    std::string word;
+    util::append_u32(word, old_schema);
+    old_file.replace(36, 4, word);
+    std::string sum;
+    util::append_key128(sum, util::hash128(old_file.data(), 40));
+    old_file.replace(40, 16, sum);
+    spit(path_, old_file);
+
+    auto opened = VerdictStore::open(path_, small_meta());
+    EXPECT_EQ(opened.outcome, OpenOutcome::SchemaMismatch) << opened.detail;
+    EXPECT_EQ(opened.store->size(), 0u);
+    // Not bit rot: the stale file stays put, no .corrupt appears.
+    EXPECT_TRUE(RealFs::instance().exists(path_));
+    EXPECT_FALSE(RealFs::instance().exists(path_ + ".corrupt"));
+    // Self-heals: the next save writes the current schema.
+    opened.store->set_bit(key_of(0), 0, true);
+    ASSERT_TRUE(opened.store->save(path_));
+    auto reopened = VerdictStore::open(path_, small_meta());
+    EXPECT_EQ(reopened.outcome, OpenOutcome::Loaded) << reopened.detail;
+    EXPECT_EQ(reopened.store->size(), 1u);
+  }
+}
+
 TEST_F(StoreCorruption, LeftoverTempFileIsInertAndOverwritten) {
   // A concurrent writer (or kill mid-save) leaves path.tmp behind; open
   // must ignore it and load the real file, and the next save must
@@ -299,7 +333,10 @@ TEST_F(StoreCorruption, LeftoverTempFileIsInertAndOverwritten) {
 class StoreFaults : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = temp_path("faults");
+    // Per-case path: ctest runs each case as its own test, possibly in
+    // parallel, so a name shared across cases would collide.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = temp_path(std::string("faults_") + info->name());
     scrub(path_);
     // Commit a known-good generation first.
     VerdictStore store(small_meta());
