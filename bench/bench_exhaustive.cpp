@@ -201,12 +201,28 @@ int main(int argc, char** argv) {
   // ---- The streamed naive-space matrix. ----
   enumeration::ExhaustiveStream stream(opts);
   explore::TheoremHarnessReport report;
+  // Program-class accounting runs behind the FIFO: the producer thread
+  // only queues program copies, and this consumer-side tally hashes
+  // them per chunk.  The tally rides the harness checkpoint through
+  // the extra-sink hooks, so a killed-and-resumed run still reports
+  // the full class count (absorb is idempotent across the replayed
+  // boundary chunk).
+  enumeration::ProgramClassTally program_tally;
+  std::vector<core::Program> drained_programs;
+  harness.save_extra_sink = [&](std::vector<std::uint64_t>& out) {
+    program_tally.export_state(out);
+  };
+  harness.restore_extra_sink = [&](const std::vector<std::uint64_t>& data) {
+    return program_tally.restore_state(data);
+  };
   util::Timer timer;
   explore::DistinguishMatrix by_naive;
   try {
     by_naive = explore::distinguishability_streamed(
         eng, models, stream, harness, &report,
         [&](const engine::StreamChunkStats& cs) {
+          stream.take_new_programs(drained_programs);
+          program_tally.absorb(drained_programs);
           if ((cs.index + 1) % static_cast<std::size_t>(progress_every) != 0) {
             return;
           }
@@ -225,6 +241,10 @@ int main(int argc, char** argv) {
     return 3;
   }
   const double wall = timer.seconds();
+  // The last chunk's programs may still be queued (the progress
+  // callback has already fired for it by the time production ends).
+  stream.take_new_programs(drained_programs);
+  program_tally.absorb(drained_programs);
 
   std::printf("\nstream: %s\n", report.stream.to_string().c_str());
   std::printf("pipeline stages: %s%s; dedup set: %d shards\n",
@@ -271,10 +291,10 @@ int main(int argc, char** argv) {
                   ? static_cast<double>(report.stream.tests_streamed) /
                         static_cast<double>(canonical_tests)
                   : 0.0,
-              stream.emitted().programs, stream.canonical_programs(),
-              stream.canonical_programs() > 0
+              stream.emitted().programs, program_tally.count(),
+              program_tally.count() > 0
                   ? static_cast<double>(stream.emitted().programs) /
-                        static_cast<double>(stream.canonical_programs())
+                        static_cast<double>(program_tally.count())
                   : 0.0);
 
   // ---- The Theorem-1 comparison. ----
@@ -368,8 +388,14 @@ int main(int argc, char** argv) {
     // deriving them.
     serial_harness.verdict_store = nullptr;
     serial_harness.persistence = nullptr;
+    serial_harness.save_extra_sink = nullptr;
+    serial_harness.restore_extra_sink = nullptr;
     engine::VerdictEngine serial_eng(serial_options);
-    enumeration::ExhaustiveStream serial_stream(opts);
+    // The guard compares matrices and stream accounting; program-class
+    // accounting is not re-run, so don't queue (and leak) copies.
+    enumeration::ExhaustiveOptions serial_opts = opts;
+    serial_opts.track_program_classes = false;
+    enumeration::ExhaustiveStream serial_stream(serial_opts);
     util::Timer serial_timer;
     explore::TheoremHarnessReport serial_report;
     const auto by_serial = explore::distinguishability_streamed(
@@ -420,8 +446,7 @@ int main(int argc, char** argv) {
     std::fprintf(js, "  \"chunk_size\": %d,\n", opts.chunk_size);
     std::fprintf(js, "  \"threads\": %d,\n", eng.effective_threads());
     std::fprintf(js, "  \"programs\": %lld,\n", stream.emitted().programs);
-    std::fprintf(js, "  \"program_classes\": %lld,\n",
-                 stream.canonical_programs());
+    std::fprintf(js, "  \"program_classes\": %lld,\n", program_tally.count());
     std::fprintf(js, "  \"tests_streamed\": %zu,\n", s.tests_streamed);
     std::fprintf(js, "  \"novel_tests\": %zu,\n", s.novel_tests);
     std::fprintf(js, "  \"duplicate_tests\": %zu,\n", s.duplicate_tests);

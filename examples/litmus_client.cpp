@@ -1,0 +1,138 @@
+// litmus_client: command-line client for a running litmusd.
+//
+//   litmus_client --socket /tmp/litmusd.sock check test.litmus
+//   litmus_client --socket /tmp/litmusd.sock stats
+//   litmus_client --tcp 7411 models
+//
+// `check` sends the file's tests (one or a whole corpus) and prints,
+// per test, whether each served model admits the outcome and whether
+// the answer came from the store or was computed.  `stats` dumps the
+// server's counters; `models` lists the served model names.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+
+namespace {
+
+const char* source_name(mcmc::serve::VerdictSource source) {
+  switch (source) {
+    case mcmc::serve::VerdictSource::kStore:
+      return "store";
+    case mcmc::serve::VerdictSource::kComputed:
+      return "computed";
+    default:
+      return "unknown";
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--socket PATH | --tcp PORT) COMMAND\n"
+               "  check FILE   verdicts for the litmus test(s) in FILE\n"
+               "  stats        server counters\n"
+               "  models       served model names\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcmc;
+
+  std::string socket_path;
+  int tcp_port = -1;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      tcp_port = std::atoi(argv[++i]);
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty() || (socket_path.empty() && tcp_port < 0)) {
+    return usage(argv[0]);
+  }
+
+  serve::Client client;
+  std::string error;
+  const bool up = socket_path.empty() ? client.connect_tcp(tcp_port, &error)
+                                      : client.connect_unix(socket_path, &error);
+  if (!up) {
+    std::fprintf(stderr, "litmus_client: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (args[0] == "models" && args.size() == 1) {
+    std::vector<std::string> names;
+    if (!client.models(names, &error)) {
+      std::fprintf(stderr, "litmus_client: %s\n", error.c_str());
+      return 1;
+    }
+    for (const auto& name : names) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+
+  if (args[0] == "stats" && args.size() == 1) {
+    static const char* const kNames[] = {
+        "probes",          "probe_store_hits", "probe_unknown",
+        "checks",          "check_store_hits", "check_computed",
+        "batches",         "max_coalesced",    "queue_depth",
+        "queue_rejected",  "conns_opened",     "conns_active",
+        "latency_p50_ns",  "latency_p99_ns",   "store_entries",
+        "store_saves",     "client_requests",  "client_store_hits",
+    };
+    std::vector<std::uint64_t> fields;
+    if (!client.stats(fields, &error)) {
+      std::fprintf(stderr, "litmus_client: %s\n", error.c_str());
+      return 1;
+    }
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      const char* name = i < std::size(kNames) ? kNames[i] : "field";
+      std::printf("%-18s %llu\n", name,
+                  static_cast<unsigned long long>(fields[i]));
+    }
+    return 0;
+  }
+
+  if (args[0] == "check" && args.size() == 2) {
+    std::ifstream in(args[1]);
+    if (!in) {
+      std::fprintf(stderr, "litmus_client: cannot read %s\n", args[1].c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    std::vector<std::string> names;
+    std::vector<serve::VerdictRowWire> rows;
+    if (!client.models(names, &error) ||
+        !client.batch_check(text.str(), rows, &error)) {
+      std::fprintf(stderr, "litmus_client: %s\n", error.c_str());
+      return 1;
+    }
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      const auto& row = rows[t];
+      std::printf("test %zu (%s): allowed by", t, source_name(row.source));
+      int allowed = 0;
+      for (std::size_t m = 0; m < names.size(); ++m) {
+        if (row.known(static_cast<int>(m)) && row.allowed(static_cast<int>(m))) {
+          std::printf(" %s", names[m].c_str());
+          ++allowed;
+        }
+      }
+      if (allowed == 0) std::printf(" none");
+      std::printf("\n");
+    }
+    return 0;
+  }
+
+  return usage(argv[0]);
+}

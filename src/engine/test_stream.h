@@ -85,9 +85,15 @@ class ChunkPrefetcher final : public TestSource {
   /// consumer); values below 1 are clamped to 1.  One chunk of
   /// lookahead already hides production fully when produce is cheaper
   /// than consume, and every queued chunk is resident memory, so the
-  /// default stays minimal.
-  explicit ChunkPrefetcher(TestSource& source, std::size_t depth = 1)
-      : source_(source), depth_(depth < 1 ? 1 : depth) {
+  /// default stays minimal.  `capture_cursors` snapshots the wrapped
+  /// source's position after every chunk so snapshot_cursor works;
+  /// callers that never checkpoint (no persistence attached) pass
+  /// false and skip that per-chunk producer-thread work entirely.
+  explicit ChunkPrefetcher(TestSource& source, std::size_t depth = 1,
+                           bool capture_cursors = true)
+      : source_(source),
+        depth_(depth < 1 ? 1 : depth),
+        capture_cursors_(capture_cursors) {
     producer_ = std::thread([this] { produce(); });
   }
 
@@ -165,7 +171,9 @@ class ChunkPrefetcher final : public TestSource {
       util::Timer timer;
       try {
         item.more = source_.next_chunk(item.tests);
-        item.cursor_valid = source_.snapshot_cursor(item.cursor);
+        if (capture_cursors_) {
+          item.cursor_valid = source_.snapshot_cursor(item.cursor);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu_);
         error_ = std::current_exception();
@@ -189,6 +197,7 @@ class ChunkPrefetcher final : public TestSource {
 
   TestSource& source_;
   std::size_t depth_;
+  bool capture_cursors_;
   std::thread producer_;
 
   std::mutex mu_;

@@ -752,7 +752,9 @@ StreamStats VerdictEngine::run_stream(
   const bool overlap = stream_options.overlap_production;
   total.overlapped = overlap;
   std::optional<ChunkPrefetcher> prefetcher;
-  if (overlap) prefetcher.emplace(source);
+  // Cursor capture exists only for checkpoint seals; without
+  // persistence the producer thread skips the per-chunk snapshot.
+  if (overlap) prefetcher.emplace(source, 1, persist != nullptr);
   TestSource& input = overlap ? static_cast<TestSource&>(*prefetcher) : source;
 
   std::vector<litmus::LitmusTest> chunk;

@@ -1,5 +1,6 @@
 #include "enumeration/exhaustive.h"
 
+#include <algorithm>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -66,8 +67,10 @@ bool ExhaustiveStream::start_next_program() {
     odometer_live_ = true;
 
     if (options_.track_program_classes) {
-      program_classes_.insert(
-          litmus::canonical_fingerprint(program_, core::Outcome{}, key_scratch_));
+      // A copy, not a fingerprint: hashing is the consumer's job
+      // (ProgramClassTally), so the producer thread never pays it.
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_programs_.push_back(program_);
     }
     return true;
   }
@@ -100,11 +103,27 @@ void ExhaustiveStream::build_program() {
   }
 }
 
+void ExhaustiveStream::take_new_programs(std::vector<core::Program>& out) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  if (out.empty()) {
+    out.swap(pending_programs_);
+  } else {
+    for (auto& program : pending_programs_) {
+      out.push_back(std::move(program));
+    }
+    pending_programs_.clear();
+  }
+}
+
 namespace {
 // Version 2 added the options digest word (the dep-extended space made
-// in-range-but-wrong stale cursors a real hazard); version-1 cursors
-// are rejected, which degrades a resume to a from-scratch run.
-constexpr std::uint64_t kCursorVersion = 2;
+// in-range-but-wrong stale cursors a real hazard); version 3 dropped
+// the program-class set from the payload (class accounting moved to
+// ProgramClassTally, making every snapshot O(1) words — serializing
+// the growing set per chunk dominated the with-dep stream's producer
+// thread).  Older cursors are rejected, which degrades a resume to a
+// from-scratch run.
+constexpr std::uint64_t kCursorVersion = 3;
 }  // namespace
 
 bool ExhaustiveStream::snapshot_cursor(std::vector<std::uint64_t>& out) const {
@@ -127,11 +146,6 @@ bool ExhaustiveStream::snapshot_cursor(std::vector<std::uint64_t>& out) const {
   if (odometer_live_) {
     for (const int v : odometer_) out.push_back(static_cast<std::uint64_t>(v));
   }
-  out.push_back(program_classes_.size());
-  for (const auto& key : program_classes_) {
-    out.push_back(key.hi);
-    out.push_back(key.lo);
-  }
   return true;
 }
 
@@ -150,10 +164,10 @@ bool ExhaustiveStream::restore_cursor(
   if (cursor[3] > n || cursor[4] >= (n == 0 ? 1 : n)) return false;
   if (live && (cursor[5] >= n || cursor[6] >= n)) return false;
   const std::uint64_t odo_len = cursor[11];
-  std::size_t pos = 12 + static_cast<std::size_t>(odo_len);
-  if (odo_len > cursor.size() || pos >= cursor.size()) return false;
-  const std::uint64_t class_count = cursor[pos];
-  if ((cursor.size() - pos - 1) != class_count * 2) return false;
+  if (odo_len > cursor.size() ||
+      cursor.size() != 12 + static_cast<std::size_t>(odo_len)) {
+    return false;
+  }
 
   i_ = static_cast<std::size_t>(cursor[3]);
   j_ = static_cast<std::size_t>(cursor[4]);
@@ -165,6 +179,12 @@ bool ExhaustiveStream::restore_cursor(
   emitted_.programs = static_cast<long long>(cursor[9]);
   emitted_.tests = static_cast<long long>(cursor[10]);
   odometer_live_ = live;
+  {
+    // A restore is a position reset: programs queued before it no
+    // longer correspond to the stream's past.
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_programs_.clear();
+  }
 
   const auto reject = [this] {
     // A cursor inconsistent with this stream's shapes: reset to a fresh
@@ -176,7 +196,6 @@ bool ExhaustiveStream::restore_cursor(
     emitted_ = ExhaustiveCounts{};
     odometer_live_ = false;
     odometer_.clear();
-    program_classes_.clear();
     return false;
   };
 
@@ -192,15 +211,6 @@ bool ExhaustiveStream::restore_cursor(
   } else {
     if (odo_len != 0) return reject();
     odometer_.clear();
-  }
-
-  program_classes_.clear();
-  ++pos;  // past class_count
-  for (std::uint64_t c = 0; c < class_count; ++c) {
-    util::Key128 key;
-    key.hi = cursor[pos++];
-    key.lo = cursor[pos++];
-    program_classes_.insert(key);
   }
   return true;
 }
@@ -253,6 +263,42 @@ ExhaustiveCounts ExhaustiveStream::count(const ExhaustiveOptions& options) {
   return counts;
 }
 
+void ProgramClassTally::absorb(std::vector<core::Program>& programs) {
+  for (const auto& program : programs) {
+    classes_.insert(
+        litmus::canonical_fingerprint(program, core::Outcome{}, scratch_));
+  }
+  programs.clear();
+}
+
+void ProgramClassTally::export_state(std::vector<std::uint64_t>& out) const {
+  std::vector<util::Key128> sorted(classes_.begin(), classes_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const util::Key128& a, const util::Key128& b) {
+              return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+            });
+  out.push_back(sorted.size());
+  for (const auto& key : sorted) {
+    out.push_back(key.hi);
+    out.push_back(key.lo);
+  }
+}
+
+bool ProgramClassTally::restore_state(const std::vector<std::uint64_t>& data) {
+  classes_.clear();
+  if (data.empty()) return false;
+  const std::uint64_t count = data[0];
+  if (data.size() - 1 != count * 2) return false;
+  std::size_t pos = 1;
+  for (std::uint64_t c = 0; c < count; ++c) {
+    util::Key128 key;
+    key.hi = data[pos++];
+    key.lo = data[pos++];
+    classes_.insert(key);
+  }
+  return true;
+}
+
 ReductionCounts measure_reduction(const ExhaustiveOptions& options) {
   ExhaustiveOptions tracked = options;
   tracked.track_program_classes = true;
@@ -263,14 +309,25 @@ ReductionCounts measure_reduction(const ExhaustiveOptions& options) {
   // same space).
   std::unordered_set<util::Key128, util::Key128Hash> test_classes;
   litmus::KeyScratch scratch;
-  engine::for_each_test(stream, [&](const litmus::LitmusTest& test) {
-    test_classes.insert(litmus::canonical_fingerprint(test, scratch));
-  });
+  ProgramClassTally programs;
+  std::vector<core::Program> drained;
+  std::vector<litmus::LitmusTest> chunk;
+  bool more = true;
+  while (more) {
+    chunk.clear();
+    more = stream.next_chunk(chunk);
+    for (const auto& test : chunk) {
+      test_classes.insert(litmus::canonical_fingerprint(test, scratch));
+    }
+    // Drain per chunk so pending program copies never pile up.
+    stream.take_new_programs(drained);
+    programs.absorb(drained);
+  }
 
   ReductionCounts counts;
   counts.programs = stream.emitted().programs;
   counts.tests = stream.emitted().tests;
-  counts.canonical_programs = stream.canonical_programs();
+  counts.canonical_programs = programs.count();
   counts.canonical_tests = static_cast<long long>(test_classes.size());
   return counts;
 }

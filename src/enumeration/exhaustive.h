@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -40,9 +41,12 @@ struct ExhaustiveOptions {
   /// Drop programs whose threads never interact (the reduced-baseline
   /// filter); the full naive space keeps them.
   bool communicating_only = false;
-  /// Compute the canonical program-class count while streaming (one
-  /// litmus::canonical_fingerprint per *program*, not per test); read
-  /// it back via ExhaustiveStream::canonical_programs.
+  /// Queue a copy of every newly started program for consumer-side
+  /// class accounting (drain with ExhaustiveStream::take_new_programs,
+  /// hash with ProgramClassTally).  The producer thread only copies —
+  /// fingerprinting happens on whichever thread drains, so program
+  /// accounting never slows chunk production.  Pending programs
+  /// accumulate until drained: leave this off unless something drains.
   bool track_program_classes = false;
 };
 
@@ -68,10 +72,11 @@ class ExhaustiveStream final : public engine::TestSource {
   bool next_chunk(std::vector<litmus::LitmusTest>& out) override;
 
   /// Serializes the full generator position — shape-pair cursor,
-  /// odometer, emitted counters, and (when tracked) the program-class
-  /// set — so a fresh stream with equal options resumes bit-for-bit:
-  /// same remaining tests, same chunk boundaries, same "x<p>.<o>"
-  /// names.
+  /// odometer, and emitted counters — so a fresh stream with equal
+  /// options resumes bit-for-bit: same remaining tests, same chunk
+  /// boundaries, same "x<p>.<o>" names.  O(1) words: program-class
+  /// accounting lives outside the stream (ProgramClassTally), so a
+  /// per-chunk snapshot never serializes a growing set.
   [[nodiscard]] bool snapshot_cursor(
       std::vector<std::uint64_t>& out) const override;
 
@@ -89,11 +94,11 @@ class ExhaustiveStream final : public engine::TestSource {
   [[nodiscard]] const ExhaustiveCounts& emitted() const { return emitted_; }
   [[nodiscard]] const ExhaustiveOptions& options() const { return options_; }
 
-  /// Canonical program classes seen so far (requires
-  /// options.track_program_classes).
-  [[nodiscard]] long long canonical_programs() const {
-    return static_cast<long long>(program_classes_.size());
-  }
+  /// Drains the programs started since the last drain (requires
+  /// options.track_program_classes) by appending them to `out`.
+  /// Thread-safe against the producing next_chunk, so a consumer-side
+  /// accountant can drain per chunk while a prefetcher produces ahead.
+  void take_new_programs(std::vector<core::Program>& out);
 
   /// Counting-only walk of the same generator core: the totals a full
   /// drain of a fresh stream with these options would emit.
@@ -126,11 +131,41 @@ class ExhaustiveStream final : public engine::TestSource {
   std::vector<int> odometer_;                // current outcome assignment
   bool odometer_live_ = false;
 
-  // Canonical program classes as 128-bit canonical fingerprints (16
-  // bytes per class, computed without Analysis or key strings; see
-  // util/hash128.h for the collision margin) with reusable scratch.
-  std::unordered_set<util::Key128, util::Key128Hash> program_classes_;
-  litmus::KeyScratch key_scratch_;
+  // Programs started but not yet drained (track_program_classes only).
+  // The producer appends a copy per program; take_new_programs empties
+  // it under the same mutex.  Bounded in practice by however far the
+  // prefetcher runs ahead of the draining consumer.
+  mutable std::mutex pending_mu_;
+  std::vector<core::Program> pending_programs_;
+};
+
+/// Consumer-side accumulator of canonical program classes: feed it the
+/// programs drained from ExhaustiveStream::take_new_programs.  Classes
+/// are 128-bit canonical fingerprints (16 bytes per class, computed
+/// without Analysis or key strings; see util/hash128.h for the
+/// collision margin).  Absorbing is idempotent — re-absorbing programs
+/// replayed across a checkpoint resume cannot inflate the count.
+class ProgramClassTally {
+ public:
+  /// Fingerprints and forgets `programs` (cleared on return).
+  void absorb(std::vector<core::Program>& programs);
+
+  [[nodiscard]] long long count() const {
+    return static_cast<long long>(classes_.size());
+  }
+
+  /// Appends [count, (hi, lo)...] in sorted key order, so equal
+  /// tallies export identical words (checkpoint payloads stay
+  /// deterministic in the tally's content).
+  void export_state(std::vector<std::uint64_t>& out) const;
+
+  /// Re-adopts an export_state image (replacing the current classes);
+  /// false — with the tally left empty — if the words are malformed.
+  [[nodiscard]] bool restore_state(const std::vector<std::uint64_t>& data);
+
+ private:
+  std::unordered_set<util::Key128, util::Key128Hash> classes_;
+  litmus::KeyScratch scratch_;
 };
 
 /// Symmetry reduction measured by the canonical-key machinery

@@ -1,0 +1,242 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mcmc::serve {
+
+namespace {
+
+void set_error(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+}
+
+[[nodiscard]] bool write_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::connect_unix(const std::string& socket_path, std::string* error) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    set_error(error, "socket path too long");
+    return false;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    set_error(error, "socket(AF_UNIX) failed");
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    set_error(error, "connect to " + socket_path + " failed: " +
+                         std::strerror(errno));
+    close();
+    return false;
+  }
+  use_tcp_ = false;
+  socket_path_ = socket_path;
+  return true;
+}
+
+bool Client::connect_tcp(int port, std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    set_error(error, "socket(AF_INET) failed");
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    set_error(error, std::string("tcp connect failed: ") +
+                         std::strerror(errno));
+    close();
+    return false;
+  }
+  use_tcp_ = true;
+  tcp_port_ = port;
+  return true;
+}
+
+bool Client::reconnect(std::string* error) {
+  return use_tcp_ ? connect_tcp(tcp_port_, error)
+                  : connect_unix(socket_path_, error);
+}
+
+bool Client::send_and_receive(const std::string& frame, Response& response,
+                              std::string* error) {
+  if (!write_all(fd_, frame)) {
+    set_error(error, std::string("send failed: ") + std::strerror(errno));
+    return false;
+  }
+  std::string buffer;
+  std::string payload;
+  char chunk[4096];
+  for (;;) {
+    std::size_t consumed = 0;
+    switch (extract_frame(buffer, consumed, payload)) {
+      case FrameStatus::kFrame:
+        if (!decode_response(payload, response)) {
+          set_error(error, "undecodable response payload");
+          return false;
+        }
+        return true;
+      case FrameStatus::kBad:
+        set_error(error, "bad response frame");
+        return false;
+      case FrameStatus::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      // Mid-reply EOF/reset: reported as a dropped connection so
+      // call() can retry.
+      set_error(error, "connection dropped");
+      return false;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool Client::call(const Request& request, Response& response,
+                  std::string* error) {
+  if (fd_ < 0) {
+    set_error(error, "not connected");
+    return false;
+  }
+  Request numbered = request;
+  numbered.id = next_id_++;
+  std::string frame;
+  append_frame(frame, encode_request(numbered));
+
+  std::string attempt_error;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (attempt > 0 && !reconnect(&attempt_error)) break;
+    if (send_and_receive(frame, response, &attempt_error)) {
+      if (response.id != numbered.id) {
+        set_error(error, "response id mismatch");
+        return false;
+      }
+      return true;
+    }
+    // Only a torn connection is safely retryable; a decode failure on
+    // a live link means a protocol bug, not a flaky transport.
+    if (attempt_error != "connection dropped" &&
+        attempt_error.rfind("send failed", 0) != 0) {
+      break;
+    }
+  }
+  set_error(error, attempt_error);
+  return false;
+}
+
+bool Client::typed_call(const Request& request, MsgType expect,
+                        Response& response, std::string* error) {
+  if (!call(request, response, error)) return false;
+  if (response.type == MsgType::kError) {
+    set_error(error, "server error " +
+                         std::to_string(static_cast<std::uint32_t>(
+                             response.error_code)) +
+                         ": " + response.error_message);
+    return false;
+  }
+  if (response.type != expect) {
+    set_error(error, "unexpected response type");
+    return false;
+  }
+  return true;
+}
+
+bool Client::probe(const util::Key128& key, VerdictRowWire& row,
+                   std::string* error) {
+  Request request;
+  request.type = MsgType::kProbe;
+  request.key = key;
+  Response response;
+  if (!typed_call(request, MsgType::kVerdictRow, response, error)) return false;
+  row = std::move(response.row);
+  return true;
+}
+
+bool Client::check(const std::string& litmus_text, VerdictRowWire& row,
+                   std::string* error) {
+  Request request;
+  request.type = MsgType::kCheck;
+  request.text = litmus_text;
+  Response response;
+  if (!typed_call(request, MsgType::kVerdictRow, response, error)) return false;
+  row = std::move(response.row);
+  return true;
+}
+
+bool Client::batch_check(const std::string& corpus_text,
+                         std::vector<VerdictRowWire>& rows,
+                         std::string* error) {
+  Request request;
+  request.type = MsgType::kBatchCheck;
+  request.text = corpus_text;
+  Response response;
+  if (!typed_call(request, MsgType::kVerdictRows, response, error)) {
+    return false;
+  }
+  rows = std::move(response.rows);
+  return true;
+}
+
+bool Client::stats(std::vector<std::uint64_t>& fields, std::string* error) {
+  Request request;
+  request.type = MsgType::kStats;
+  Response response;
+  if (!typed_call(request, MsgType::kStatsReply, response, error)) {
+    return false;
+  }
+  fields = std::move(response.stats);
+  return true;
+}
+
+bool Client::models(std::vector<std::string>& names, std::string* error) {
+  Request request;
+  request.type = MsgType::kModels;
+  Response response;
+  if (!typed_call(request, MsgType::kModelsReply, response, error)) {
+    return false;
+  }
+  names = std::move(response.model_names);
+  return true;
+}
+
+}  // namespace mcmc::serve

@@ -1,0 +1,89 @@
+// Blocking litmusd client.
+//
+// One connection, one outstanding request at a time, request-id
+// correlation checked on every reply.  Every protocol request is
+// idempotent (probes and checks are pure lookups/computations; the
+// server dedups store writes by fingerprint), so the client retries
+// exactly once on a connection torn down mid-request — ECONNRESET,
+// EPIPE, or a short read — by reconnecting and resending.  Anything
+// else (malformed reply, server-side kError) is surfaced, not retried.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace mcmc::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+      next_id_ = other.next_id_;
+      use_tcp_ = other.use_tcp_;
+      socket_path_ = std::move(other.socket_path_);
+      tcp_port_ = other.tcp_port_;
+    }
+    return *this;
+  }
+
+  /// Connects to a Unix-domain litmusd socket.  False (with `error`
+  /// set) on failure.
+  [[nodiscard]] bool connect_unix(const std::string& socket_path,
+                                  std::string* error = nullptr);
+
+  /// Connects to a loopback TCP litmusd listener.
+  [[nodiscard]] bool connect_tcp(int port, std::string* error = nullptr);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one request and blocks for its reply (retrying once on a
+  /// dropped connection).  False on transport failure — `error` says
+  /// why; a server-side kError is a *successful* call whose response
+  /// has type kError.
+  [[nodiscard]] bool call(const Request& request, Response& response,
+                          std::string* error = nullptr);
+
+  // Typed conveniences over call(); each returns false on transport
+  // failure OR a kError reply (kError details land in `error`).
+  [[nodiscard]] bool probe(const util::Key128& key, VerdictRowWire& row,
+                           std::string* error = nullptr);
+  [[nodiscard]] bool check(const std::string& litmus_text, VerdictRowWire& row,
+                           std::string* error = nullptr);
+  [[nodiscard]] bool batch_check(const std::string& corpus_text,
+                                 std::vector<VerdictRowWire>& rows,
+                                 std::string* error = nullptr);
+  [[nodiscard]] bool stats(std::vector<std::uint64_t>& fields,
+                           std::string* error = nullptr);
+  [[nodiscard]] bool models(std::vector<std::string>& names,
+                            std::string* error = nullptr);
+
+ private:
+  [[nodiscard]] bool reconnect(std::string* error);
+  [[nodiscard]] bool send_and_receive(const std::string& frame,
+                                      Response& response, std::string* error);
+  [[nodiscard]] bool typed_call(const Request& request, MsgType expect,
+                                Response& response, std::string* error);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  // Remembered endpoint for the retry reconnect.
+  bool use_tcp_ = false;
+  std::string socket_path_;
+  int tcp_port_ = -1;
+};
+
+}  // namespace mcmc::serve

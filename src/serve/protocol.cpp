@@ -1,0 +1,247 @@
+#include "serve/protocol.h"
+
+#include <cstddef>
+
+namespace mcmc::serve {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8;  // magic + length
+
+[[nodiscard]] std::size_t row_words(std::uint32_t num_models) {
+  return (static_cast<std::size_t>(num_models) + 63) / 64;
+}
+
+void append_row(std::string& out, const VerdictRowWire& row) {
+  out.push_back(static_cast<char>(row.source));
+  util::append_u32(out, row.num_models);
+  for (std::uint64_t w : row.valid) util::append_u64(out, w);
+  for (std::uint64_t w : row.bits) util::append_u64(out, w);
+}
+
+[[nodiscard]] bool read_row(util::ByteReader& reader, VerdictRowWire& row) {
+  const char* src = reader.read_bytes(1);
+  if (src == nullptr) return false;
+  const auto raw = static_cast<std::uint8_t>(*src);
+  if (raw > static_cast<std::uint8_t>(VerdictSource::kComputed)) return false;
+  row.source = static_cast<VerdictSource>(raw);
+  row.num_models = reader.read_u32();
+  const std::size_t words = row_words(row.num_models);
+  // Two word blocks follow; reject a count the payload cannot hold
+  // before allocating for it.
+  if (reader.remaining() < words * 16) return false;
+  row.valid.resize(words);
+  row.bits.resize(words);
+  for (auto& w : row.valid) w = reader.read_u64();
+  for (auto& w : row.bits) w = reader.read_u64();
+  return reader.ok();
+}
+
+void append_string(std::string& out, const std::string& s) {
+  util::append_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+[[nodiscard]] bool read_string(util::ByteReader& reader, std::string& s) {
+  const std::uint32_t len = reader.read_u32();
+  if (len > reader.remaining()) return false;
+  const char* data = reader.read_bytes(len);
+  if (data == nullptr) return false;
+  s.assign(data, len);
+  return true;
+}
+
+void append_header(std::string& out, MsgType type, std::uint64_t id) {
+  util::append_u32(out, kProtocolVersion);
+  util::append_u32(out, static_cast<std::uint32_t>(type));
+  util::append_u64(out, id);
+}
+
+}  // namespace
+
+void append_frame(std::string& out, const std::string& payload) {
+  util::append_u32(out, kFrameMagic);
+  util::append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+}
+
+FrameStatus extract_frame(const std::string& buffer, std::size_t& consumed,
+                          std::string& payload) {
+  consumed = 0;
+  if (buffer.size() < kHeaderBytes) return FrameStatus::kNeedMore;
+  util::ByteReader reader(buffer);
+  const std::uint32_t magic = reader.read_u32();
+  const std::uint32_t length = reader.read_u32();
+  if (magic != kFrameMagic || length > kMaxFramePayload) {
+    return FrameStatus::kBad;
+  }
+  if (buffer.size() < kHeaderBytes + length) return FrameStatus::kNeedMore;
+  payload.assign(buffer, kHeaderBytes, length);
+  consumed = kHeaderBytes + length;
+  return FrameStatus::kFrame;
+}
+
+std::string encode_request(const Request& request) {
+  std::string out;
+  append_header(out, request.type, request.id);
+  switch (request.type) {
+    case MsgType::kProbe:
+      util::append_key128(out, request.key);
+      break;
+    case MsgType::kBatchProbe:
+      util::append_u32(out, static_cast<std::uint32_t>(request.keys.size()));
+      for (const auto& key : request.keys) util::append_key128(out, key);
+      break;
+    case MsgType::kCheck:
+    case MsgType::kBatchCheck:
+      append_string(out, request.text);
+      break;
+    case MsgType::kStats:
+    case MsgType::kModels:
+      break;
+    default:
+      break;  // encoding an unknown type yields an empty body
+  }
+  return out;
+}
+
+std::string encode_response(const Response& response) {
+  std::string out;
+  append_header(out, response.type, response.id);
+  switch (response.type) {
+    case MsgType::kVerdictRow:
+      append_row(out, response.row);
+      break;
+    case MsgType::kVerdictRows:
+      util::append_u32(out, static_cast<std::uint32_t>(response.rows.size()));
+      for (const auto& row : response.rows) append_row(out, row);
+      break;
+    case MsgType::kStatsReply:
+      util::append_u32(out, static_cast<std::uint32_t>(response.stats.size()));
+      for (std::uint64_t v : response.stats) util::append_u64(out, v);
+      break;
+    case MsgType::kModelsReply:
+      util::append_u32(out,
+                       static_cast<std::uint32_t>(response.model_names.size()));
+      for (const auto& name : response.model_names) append_string(out, name);
+      break;
+    case MsgType::kError:
+      util::append_u32(out, static_cast<std::uint32_t>(response.error_code));
+      append_string(out, response.error_message);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+bool decode_request(const std::string& payload, Request& out,
+                    std::uint32_t* version_out) {
+  util::ByteReader reader(payload);
+  const std::uint32_t version = reader.read_u32();
+  if (version_out != nullptr) *version_out = version;
+  const std::uint32_t type = reader.read_u32();
+  out.id = reader.read_u64();
+  if (!reader.ok() || version != kProtocolVersion) return false;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kProbe:
+      out.type = MsgType::kProbe;
+      out.key = reader.read_key128();
+      break;
+    case MsgType::kBatchProbe: {
+      out.type = MsgType::kBatchProbe;
+      const std::uint32_t n = reader.read_u32();
+      if (!reader.ok() || static_cast<std::size_t>(n) * 16 > reader.remaining()) {
+        return false;
+      }
+      out.keys.resize(n);
+      for (auto& key : out.keys) key = reader.read_key128();
+      break;
+    }
+    case MsgType::kCheck:
+      out.type = MsgType::kCheck;
+      if (!read_string(reader, out.text)) return false;
+      break;
+    case MsgType::kBatchCheck:
+      out.type = MsgType::kBatchCheck;
+      if (!read_string(reader, out.text)) return false;
+      break;
+    case MsgType::kStats:
+      out.type = MsgType::kStats;
+      break;
+    case MsgType::kModels:
+      out.type = MsgType::kModels;
+      break;
+    default:
+      return false;  // unknown or response-typed: not a request
+  }
+  // Trailing bytes mean the sender framed something we don't
+  // understand; refuse rather than silently ignore.
+  return reader.ok() && reader.remaining() == 0;
+}
+
+bool decode_response(const std::string& payload, Response& out) {
+  util::ByteReader reader(payload);
+  const std::uint32_t version = reader.read_u32();
+  const std::uint32_t type = reader.read_u32();
+  out.id = reader.read_u64();
+  if (!reader.ok() || version != kProtocolVersion) return false;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kVerdictRow:
+      out.type = MsgType::kVerdictRow;
+      if (!read_row(reader, out.row)) return false;
+      break;
+    case MsgType::kVerdictRows: {
+      out.type = MsgType::kVerdictRows;
+      const std::uint32_t n = reader.read_u32();
+      // Each row is at least source + num_models bytes.
+      if (!reader.ok() || static_cast<std::size_t>(n) * 5 > reader.remaining()) {
+        return false;
+      }
+      out.rows.resize(n);
+      for (auto& row : out.rows) {
+        if (!read_row(reader, row)) return false;
+      }
+      break;
+    }
+    case MsgType::kStatsReply: {
+      out.type = MsgType::kStatsReply;
+      const std::uint32_t n = reader.read_u32();
+      if (!reader.ok() || static_cast<std::size_t>(n) * 8 > reader.remaining()) {
+        return false;
+      }
+      out.stats.resize(n);
+      for (auto& v : out.stats) v = reader.read_u64();
+      break;
+    }
+    case MsgType::kModelsReply: {
+      out.type = MsgType::kModelsReply;
+      const std::uint32_t n = reader.read_u32();
+      // Each name is at least its 4-byte length word.
+      if (!reader.ok() || static_cast<std::size_t>(n) * 4 > reader.remaining()) {
+        return false;
+      }
+      out.model_names.resize(n);
+      for (auto& name : out.model_names) {
+        if (!read_string(reader, name)) return false;
+      }
+      break;
+    }
+    case MsgType::kError: {
+      out.type = MsgType::kError;
+      const std::uint32_t code = reader.read_u32();
+      if (code < static_cast<std::uint32_t>(ErrorCode::kMalformed) ||
+          code > static_cast<std::uint32_t>(ErrorCode::kInternal)) {
+        return false;
+      }
+      out.error_code = static_cast<ErrorCode>(code);
+      if (!read_string(reader, out.error_message)) return false;
+      break;
+    }
+    default:
+      return false;
+  }
+  return reader.ok() && reader.remaining() == 0;
+}
+
+}  // namespace mcmc::serve

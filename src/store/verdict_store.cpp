@@ -107,23 +107,25 @@ std::uint32_t VerdictStore::row_of(util::Key128 test) {
 
 std::optional<bool> VerdictStore::probe_bit(util::Key128 test, int col) {
   MCMC_CHECK_MSG(col >= 0 && col < num_models(), "store column out of range");
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(test);
   if (it != index_.end()) {
     const std::size_t base = static_cast<std::size_t>(it->second) * words_;
     const std::size_t word = static_cast<std::size_t>(col) / 64;
     const std::uint64_t mask = 1ULL << (static_cast<std::size_t>(col) % 64);
     if ((valid_[base + word] & mask) != 0) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return (bits_[base + word] & mask) != 0;
     }
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
 
 bool VerdictStore::probe_row(util::Key128 test, const std::vector<int>& cols,
                              std::vector<std::uint64_t>& out) {
   out.assign((cols.size() + 63) / 64, 0);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(test);
   if (it != index_.end()) {
     const std::size_t base = static_cast<std::size_t>(it->second) * words_;
@@ -140,16 +142,17 @@ bool VerdictStore::probe_row(util::Key128 test, const std::vector<int>& cols,
       if ((bits_[base + word] & mask) != 0) out[i / 64] |= 1ULL << (i % 64);
     }
     if (all) {
-      hits_ += cols.size();
+      hits_.fetch_add(cols.size(), std::memory_order_relaxed);
       return true;
     }
   }
-  misses_ += cols.size();
+  misses_.fetch_add(cols.size(), std::memory_order_relaxed);
   return false;
 }
 
 void VerdictStore::set_bit(util::Key128 test, int col, bool verdict) {
   MCMC_CHECK_MSG(col >= 0 && col < num_models(), "store column out of range");
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const std::size_t base = static_cast<std::size_t>(row_of(test)) * words_;
   const std::size_t word = static_cast<std::size_t>(col) / 64;
   const std::uint64_t mask = 1ULL << (static_cast<std::size_t>(col) % 64);
@@ -213,7 +216,14 @@ std::string VerdictStore::serialize() const {
 bool VerdictStore::save(const std::string& path, Fs* fs, std::string* error) {
   Fs& f = resolve(fs);
   const std::string tmp = path + ".tmp";
-  const std::string bytes = serialize();
+  // Serialize under the shared view: concurrent probes proceed, but an
+  // appender is excluded, so the committed bytes are one consistent
+  // snapshot (never a half-written row).
+  std::string bytes;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    bytes = serialize();
+  }
 
   auto set_error = [&](const char* what) {
     if (error != nullptr) *error = std::string(what) + ": " + tmp;

@@ -36,14 +36,30 @@
 // above is exercised by fault injection (store/fs.h) in the dedicated
 // store test suites.
 //
-// Thread-safety: none.  The engine consults the store only from its
-// serial phases (batch grouping/publish, the stream consumer thread).
+// Thread-safety: shared read, serialized append/commit.  Any number
+// of threads may call the probe methods (and size/hits/misses)
+// concurrently — litmusd's per-connection readers do exactly that —
+// while at most one thread at a time appends via set_bit or touches
+// the checkpoint; save() may run concurrently with probes (it takes
+// the same shared view) but excludes appends, so a commit is always a
+// consistent snapshot.  A single writer needs no external
+// coordination with any number of readers: the store synchronizes
+// internally (reader-writer lock over the maps/slabs, relaxed atomic
+// hit/miss counters).  Multiple *writers* must serialize among
+// themselves only in the sense that the lock makes their appends
+// atomic — interleaved set_bit calls from two threads are safe but
+// their order is unspecified.  open() constructs fresh state and is
+// not concurrent with anything; column_of reads post-construction
+// immutable state and needs no lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -184,7 +200,10 @@ class VerdictStore {
 
   [[nodiscard]] const StoreMeta& meta() const { return meta_; }
   [[nodiscard]] int num_models() const { return meta_.num_models(); }
-  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return index_.size();
+  }
   [[nodiscard]] std::size_t words_per_row() const { return words_; }
 
   /// Column of the model with this engine cache key; -1 if absent
@@ -207,17 +226,35 @@ class VerdictStore {
 
   /// Cell-level accounting since construction (or reset_counters):
   /// the store hit rate bench_exhaustive reports is
-  /// hits / (hits + misses).
-  [[nodiscard]] std::uint64_t hits() const { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const { return misses_; }
-  void reset_counters() { hits_ = misses_ = 0; }
+  /// hits / (hits + misses).  Counted with relaxed atomics, so
+  /// concurrent probes race only on who counts first, never on the
+  /// totals.
+  [[nodiscard]] std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  void reset_counters() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
 
-  // ---- Stream checkpoint (persisted alongside the entries). ----
+  // ---- Stream checkpoint (persisted alongside the entries).  The
+  // getter hands out a reference, so it belongs to the writer role:
+  // call it only from the thread that owns appends (run_stream's
+  // serial resume/seal phases do). ----
   [[nodiscard]] const std::optional<StreamCheckpoint>& checkpoint() const {
     return checkpoint_;
   }
-  void set_checkpoint(StreamCheckpoint ck) { checkpoint_ = std::move(ck); }
-  void clear_checkpoint() { checkpoint_.reset(); }
+  void set_checkpoint(StreamCheckpoint ck) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    checkpoint_ = std::move(ck);
+  }
+  void clear_checkpoint() {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    checkpoint_.reset();
+  }
 
  private:
   [[nodiscard]] std::uint32_t row_of(util::Key128 test);
@@ -230,8 +267,12 @@ class VerdictStore {
   std::vector<std::uint64_t> bits_;   ///< size() x words_, slab
   std::unordered_map<std::string, int> column_;
   std::optional<StreamCheckpoint> checkpoint_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  /// Readers-writer lock implementing the header contract: probes,
+  /// size(), and save()'s serialization hold it shared; set_bit and
+  /// the checkpoint setters hold it exclusive.
+  mutable std::shared_mutex mu_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace mcmc::store

@@ -1,0 +1,314 @@
+// Wire-contract tests of serve/protocol.h: every message type
+// round-trips bit-exactly, and no truncation, oversizing, or byte
+// garbage can make the codecs crash, over-allocate, or accept a
+// mangled payload as valid.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcmc::serve {
+namespace {
+
+[[nodiscard]] Request sample_probe() {
+  Request r;
+  r.type = MsgType::kProbe;
+  r.id = 0x1122334455667788ULL;
+  r.key = {0xdeadbeefcafef00dULL, 0x0123456789abcdefULL};
+  return r;
+}
+
+[[nodiscard]] Request sample_batch_probe() {
+  Request r;
+  r.type = MsgType::kBatchProbe;
+  r.id = 7;
+  for (std::uint64_t i = 0; i < 5; ++i) r.keys.push_back({i * 31, i * 17 + 1});
+  return r;
+}
+
+[[nodiscard]] Request sample_check() {
+  Request r;
+  r.type = MsgType::kCheck;
+  r.id = 42;
+  r.text = "name: T\nthread:\n  Write X <- 1\noutcome:\n";
+  return r;
+}
+
+[[nodiscard]] VerdictRowWire sample_row(std::uint32_t num_models) {
+  VerdictRowWire row;
+  row.source = VerdictSource::kStore;
+  row.num_models = num_models;
+  const std::size_t words = (num_models + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) {
+    row.valid.push_back(~0ULL);
+    row.bits.push_back(0x5555555555555555ULL ^ w);
+  }
+  if (num_models % 64 != 0) {
+    row.valid.back() &= (1ULL << (num_models % 64)) - 1;
+    row.bits.back() &= row.valid.back();
+  }
+  return row;
+}
+
+void expect_rows_equal(const VerdictRowWire& a, const VerdictRowWire& b) {
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.num_models, b.num_models);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.bits, b.bits);
+}
+
+TEST(ServeProtocol, RequestsRoundTrip) {
+  for (const Request& original :
+       {sample_probe(), sample_batch_probe(), sample_check()}) {
+    const std::string payload = encode_request(original);
+    Request decoded;
+    ASSERT_TRUE(decode_request(payload, decoded));
+    EXPECT_EQ(decoded.type, original.type);
+    EXPECT_EQ(decoded.id, original.id);
+    EXPECT_EQ(decoded.key, original.key);
+    ASSERT_EQ(decoded.keys.size(), original.keys.size());
+    for (std::size_t i = 0; i < original.keys.size(); ++i) {
+      EXPECT_EQ(decoded.keys[i], original.keys[i]);
+    }
+    EXPECT_EQ(decoded.text, original.text);
+  }
+}
+
+TEST(ServeProtocol, EmptyBodiedRequestsRoundTrip) {
+  for (const MsgType type : {MsgType::kStats, MsgType::kModels}) {
+    Request original;
+    original.type = type;
+    original.id = 9;
+    Request decoded;
+    ASSERT_TRUE(decode_request(encode_request(original), decoded));
+    EXPECT_EQ(decoded.type, type);
+    EXPECT_EQ(decoded.id, 9u);
+  }
+}
+
+TEST(ServeProtocol, ResponsesRoundTrip) {
+  Response row_response;
+  row_response.type = MsgType::kVerdictRow;
+  row_response.id = 3;
+  row_response.row = sample_row(90);
+
+  Response rows_response;
+  rows_response.type = MsgType::kVerdictRows;
+  rows_response.id = 4;
+  rows_response.rows = {sample_row(90), sample_row(64), sample_row(1)};
+  rows_response.rows[1].source = VerdictSource::kComputed;
+  rows_response.rows[2].source = VerdictSource::kUnknown;
+
+  Response stats_response;
+  stats_response.type = MsgType::kStatsReply;
+  stats_response.id = 5;
+  for (std::size_t i = 0; i < kStatFieldCount; ++i) {
+    stats_response.stats.push_back(i * 1000 + 1);
+  }
+
+  Response models_response;
+  models_response.type = MsgType::kModelsReply;
+  models_response.id = 6;
+  models_response.model_names = {"M4444", "M1010", ""};
+
+  Response error_response;
+  error_response.type = MsgType::kError;
+  error_response.id = 7;
+  error_response.error_code = ErrorCode::kOverloaded;
+  error_response.error_message = "admission queue full";
+
+  for (const Response& original :
+       {row_response, rows_response, stats_response, models_response,
+        error_response}) {
+    Response decoded;
+    ASSERT_TRUE(decode_response(encode_response(original), decoded));
+    EXPECT_EQ(decoded.type, original.type);
+    EXPECT_EQ(decoded.id, original.id);
+    expect_rows_equal(decoded.row, original.row);
+    ASSERT_EQ(decoded.rows.size(), original.rows.size());
+    for (std::size_t i = 0; i < original.rows.size(); ++i) {
+      expect_rows_equal(decoded.rows[i], original.rows[i]);
+    }
+    EXPECT_EQ(decoded.stats, original.stats);
+    EXPECT_EQ(decoded.model_names, original.model_names);
+    if (original.type == MsgType::kError) {
+      EXPECT_EQ(decoded.error_code, original.error_code);
+      EXPECT_EQ(decoded.error_message, original.error_message);
+    }
+  }
+}
+
+TEST(ServeProtocol, RowHelpersIndexBits) {
+  const VerdictRowWire row = sample_row(90);
+  EXPECT_TRUE(row.known(0));
+  EXPECT_TRUE(row.known(89));
+  EXPECT_FALSE(row.known(90));
+  EXPECT_FALSE(row.known(-1));
+  EXPECT_TRUE(row.allowed(0));   // 0x...55 bit 0
+  EXPECT_FALSE(row.allowed(1));  // 0x...55 bit 1
+}
+
+TEST(ServeProtocol, FrameExtractionIsIncremental) {
+  std::string stream;
+  const std::string p1 = encode_request(sample_probe());
+  const std::string p2 = encode_request(sample_check());
+  append_frame(stream, p1);
+  append_frame(stream, p2);
+
+  // Feed the byte stream one byte at a time, extracting as we go:
+  // exactly two frames come out, in order, whatever the read chunking.
+  std::string buffer;
+  std::vector<std::string> payloads;
+  for (char c : stream) {
+    buffer.push_back(c);
+    std::size_t consumed = 0;
+    std::string payload;
+    while (extract_frame(buffer, consumed, payload) == FrameStatus::kFrame) {
+      buffer.erase(0, consumed);
+      payloads.push_back(payload);
+    }
+  }
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[0], p1);
+  EXPECT_EQ(payloads[1], p2);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(ServeProtocol, BadMagicAndOversizedLengthAreRejected) {
+  std::string frame;
+  append_frame(frame, encode_request(sample_probe()));
+
+  std::string bad_magic = frame;
+  bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0x01);
+  std::size_t consumed = 0;
+  std::string payload;
+  EXPECT_EQ(extract_frame(bad_magic, consumed, payload), FrameStatus::kBad);
+
+  // A length word beyond the cap must be rejected without waiting for
+  // (or allocating) the claimed bytes.
+  std::string oversized;
+  util::append_u32(oversized, kFrameMagic);
+  util::append_u32(oversized, kMaxFramePayload + 1);
+  EXPECT_EQ(extract_frame(oversized, consumed, payload), FrameStatus::kBad);
+}
+
+TEST(ServeProtocol, TruncationsNeverDecode) {
+  // Every proper prefix of a valid payload must decode as malformed —
+  // for requests and responses alike.
+  const std::string request_payload = encode_request(sample_batch_probe());
+  for (std::size_t len = 0; len < request_payload.size(); ++len) {
+    Request decoded;
+    EXPECT_FALSE(decode_request(request_payload.substr(0, len), decoded))
+        << "request prefix of length " << len << " decoded";
+  }
+
+  Response rows;
+  rows.type = MsgType::kVerdictRows;
+  rows.id = 11;
+  rows.rows = {sample_row(90), sample_row(90)};
+  const std::string response_payload = encode_response(rows);
+  for (std::size_t len = 0; len < response_payload.size(); ++len) {
+    Response decoded;
+    EXPECT_FALSE(decode_response(response_payload.substr(0, len), decoded))
+        << "response prefix of length " << len << " decoded";
+  }
+}
+
+TEST(ServeProtocol, TrailingBytesAreRejected) {
+  std::string payload = encode_request(sample_probe());
+  payload.push_back('\0');
+  Request decoded;
+  EXPECT_FALSE(decode_request(payload, decoded));
+}
+
+TEST(ServeProtocol, HostileCountsAreBoundedByPayload) {
+  // A batch-probe count claiming far more keys than the payload holds
+  // must fail before resizing anything.
+  std::string payload;
+  util::append_u32(payload, kProtocolVersion);
+  util::append_u32(payload, static_cast<std::uint32_t>(MsgType::kBatchProbe));
+  util::append_u64(payload, 1);
+  util::append_u32(payload, 0xffffffffu);
+  Request decoded;
+  EXPECT_FALSE(decode_request(payload, decoded));
+
+  // Same for a verdict-rows response and for a row's model count.
+  std::string response;
+  util::append_u32(response, kProtocolVersion);
+  util::append_u32(response, static_cast<std::uint32_t>(MsgType::kVerdictRows));
+  util::append_u64(response, 1);
+  util::append_u32(response, 0xffffffffu);
+  Response out;
+  EXPECT_FALSE(decode_response(response, out));
+
+  std::string row_response;
+  util::append_u32(row_response, kProtocolVersion);
+  util::append_u32(row_response,
+                   static_cast<std::uint32_t>(MsgType::kVerdictRow));
+  util::append_u64(row_response, 1);
+  row_response.push_back(static_cast<char>(VerdictSource::kStore));
+  util::append_u32(row_response, 0xffffffffu);  // num_models
+  EXPECT_FALSE(decode_response(row_response, out));
+}
+
+TEST(ServeProtocol, WrongVersionIsDistinguishable) {
+  Request original = sample_probe();
+  std::string payload = encode_request(original);
+  payload[0] = static_cast<char>(kProtocolVersion + 1);  // low LE byte
+  Request decoded;
+  std::uint32_t version = 0;
+  EXPECT_FALSE(decode_request(payload, decoded, &version));
+  EXPECT_EQ(version, kProtocolVersion + 1);
+}
+
+TEST(ServeProtocol, GarbageFuzzNeverCrashes) {
+  // Deterministic xorshift-filled buffers of many lengths: decoding
+  // must never crash or accept garbage that cannot round-trip back to
+  // the same bytes.
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t len = next() % 200;
+    std::string payload(len, '\0');
+    for (auto& c : payload) c = static_cast<char>(next());
+    Request request;
+    if (decode_request(payload, request)) {
+      EXPECT_EQ(encode_request(request), payload);
+    }
+    Response response;
+    if (decode_response(payload, response)) {
+      EXPECT_EQ(encode_response(response), payload);
+    }
+    std::size_t consumed = 0;
+    std::string extracted;
+    (void)extract_frame(payload, consumed, extracted);
+  }
+}
+
+TEST(ServeProtocol, MutationFuzzRoundTripsOrRejects) {
+  // Single-byte mutations of a valid payload: each either fails to
+  // decode or decodes to something that re-encodes to the mutated
+  // bytes exactly (no silent reinterpretation).
+  const std::string base = encode_request(sample_batch_probe());
+  for (std::size_t pos = 0; pos < base.size(); ++pos) {
+    for (int delta : {1, 0x80}) {
+      std::string mutated = base;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ delta);
+      Request decoded;
+      if (decode_request(mutated, decoded)) {
+        EXPECT_EQ(encode_request(decoded), mutated);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcmc::serve

@@ -7,8 +7,10 @@
 // wrong verdict, and degrades to an empty store at worst.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/formula.h"
@@ -99,6 +101,56 @@ TEST(VerdictStore, ProbeMatchesSetAndCountsHits) {
   EXPECT_FALSE(*store.probe_bit(key_of(1), 2));
   EXPECT_FALSE(store.probe_bit(key_of(1), 1).has_value());  // column unset
   EXPECT_FALSE(store.probe_bit(key_of(2), 0).has_value());  // row absent
+}
+
+TEST(VerdictStore, ConcurrentProbesWithSerializedAppender) {
+  // The documented contract (verdict_store.h): any number of probing
+  // threads concurrent with one appending thread and with save().
+  // Every bit an appender publishes must read back exactly as written,
+  // and hit+miss totals must not lose counts.  Run under the tsan CI
+  // job, this is the serve-path race detector.
+  const std::string path = temp_path("concurrent");
+  scrub(path);
+  VerdictStore store(small_meta());
+  constexpr int kKeys = 512;
+  constexpr int kReaders = 4;
+
+  std::atomic<int> published{0};
+  std::thread appender([&] {
+    for (int i = 0; i < kKeys; ++i) {
+      store.set_bit(key_of(i), 0, i % 3 == 0);
+      store.set_bit(key_of(i), 2, i % 5 == 0);
+      published.store(i + 1, std::memory_order_release);
+      if (i % 128 == 0) EXPECT_TRUE(store.save(path));
+    }
+  });
+  std::vector<std::thread> readers;
+  std::atomic<bool> wrong{false};
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      for (int round = 0; round < 4; ++round) {
+        const int upto = published.load(std::memory_order_acquire);
+        for (int i = 0; i < upto; ++i) {
+          const auto bit = store.probe_bit(key_of(i), 0);
+          if (!bit.has_value() || *bit != (i % 3 == 0)) wrong.store(true);
+        }
+        (void)store.size();
+      }
+    });
+  }
+  appender.join();
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(wrong.load());
+
+  // Totals are exact even though probes raced: every probe above was
+  // of a published cell, so every one counted a hit; the misses
+  // counter never moved.
+  EXPECT_EQ(store.misses(), 0u);
+  ASSERT_TRUE(store.save(path));
+  auto reopened = VerdictStore::open(path, small_meta());
+  EXPECT_EQ(reopened.outcome, OpenOutcome::Loaded);
+  EXPECT_EQ(reopened.store->size(), static_cast<std::size_t>(kKeys));
+  scrub(path);
 }
 
 TEST(VerdictStore, ProbeRowIsAllOrNothing) {
