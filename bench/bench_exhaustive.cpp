@@ -195,7 +195,8 @@ int main(int argc, char** argv) {
 
   const auto suite_nodep = enumeration::corollary1_suite(false);
   const auto suite_dep = enumeration::corollary1_suite(true);
-  const auto by_suite_nodep = explore::distinguishability(eng, models, suite_nodep);
+  const auto by_suite_nodep =
+      explore::distinguishability(eng, models, suite_nodep);
   const auto by_suite_dep = explore::distinguishability(eng, models, suite_dep);
 
   // ---- The streamed naive-space matrix. ----
@@ -229,9 +230,10 @@ int main(int argc, char** argv) {
           std::printf("  chunk %5zu: streamed %zu novel %zu (dedup %.1f%%)"
                       " engine[%s]\n",
                       cs.index + 1, cs.streamed, cs.novel,
-                      cs.streamed > 0 ? 100.0 * static_cast<double>(cs.duplicates) /
-                                            static_cast<double>(cs.streamed)
-                                      : 0.0,
+                      cs.streamed > 0
+                          ? 100.0 * static_cast<double>(cs.duplicates) /
+                                static_cast<double>(cs.streamed)
+                          : 0.0,
                       cs.engine.to_string().c_str());
         });
   } catch (const store::StreamInterrupted& interrupted) {
@@ -253,8 +255,9 @@ int main(int argc, char** argv) {
                                        : "",
               report.stream.dedup_shards);
   std::printf("throughput: %.0f streamed tests/sec (%.1fs wall, %d threads)\n",
-              wall > 0 ? static_cast<double>(report.stream.tests_streamed) / wall
-                       : 0.0,
+              wall > 0
+                  ? static_cast<double>(report.stream.tests_streamed) / wall
+                  : 0.0,
               wall, eng.effective_threads());
   if (harness.filter_extremes) {
     std::printf("extremes prefilter: %zu candidates / %zu filtered "
@@ -492,11 +495,11 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(js, "  \"store\": null,\n");
     }
-    std::fprintf(js, "  \"distinguished_pairs\": {\"naive_stream\": %d, "
-                 "\"suite_nodep\": %d, \"suite_dep\": %d},\n",
-                 by_naive.distinguished_pairs(),
-                 by_suite_nodep.distinguished_pairs(),
-                 by_suite_dep.distinguished_pairs());
+    std::fprintf(js, "  \"distinguished_pairs\": {\"naive_stream\": %lld, "
+                 "\"suite_nodep\": %lld, \"suite_dep\": %lld},\n",
+                 static_cast<long long>(by_naive.distinguished_pairs()),
+                 static_cast<long long>(by_suite_nodep.distinguished_pairs()),
+                 static_cast<long long>(by_suite_dep.distinguished_pairs()));
     std::fprintf(js, "  \"theorem1_identical\": %s,\n",
                  theorem_identical ? "true" : "false");
     std::fprintf(js, "  \"peak_rss_mb\": %.1f,\n", bench::peak_rss_mb());

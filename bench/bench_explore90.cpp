@@ -152,7 +152,8 @@ int main(int argc, char** argv) {
 
     const auto& stats = matrix.build_stats();
     const std::size_t evals_run = stats.formula_evals;
-    const std::size_t evals_equiv = stats.formula_evals + stats.formula_evals_saved;
+    const std::size_t evals_equiv =
+        stats.formula_evals + stats.formula_evals_saved;
     const double eval_ratio =
         evals_run > 0 ? static_cast<double>(evals_equiv) /
                             static_cast<double>(evals_run)
@@ -169,7 +170,8 @@ int main(int argc, char** argv) {
                 evals_run, evals_equiv, eval_ratio);
     std::printf("  per cell: prepared %.2fus vs PR-1 %.2fus   "
                 "(rf enums saved %zu, skeletons reused %zu)\n\n",
-                cells > 0 ? 1e6 * matrix_time / static_cast<double>(cells) : 0.0,
+                cells > 0 ? 1e6 * matrix_time / static_cast<double>(cells)
+                          : 0.0,
                 cells > 0 ? 1e6 * pr1_time / static_cast<double>(cells) : 0.0,
                 stats.rf_enums_saved, stats.skeletons_reused);
   }

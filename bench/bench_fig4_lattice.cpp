@@ -65,7 +65,8 @@ int main() {
   for (const auto& e : lattice.edges) {
     std::printf("  %-14s -> %-14s [%s]\n",
                 lattice.nodes[static_cast<std::size_t>(e.weaker)].label.c_str(),
-                lattice.nodes[static_cast<std::size_t>(e.stronger)].label.c_str(),
+                lattice.nodes[static_cast<std::size_t>(e.stronger)]
+                    .label.c_str(),
                 e.witness_name.c_str());
   }
 

@@ -42,7 +42,9 @@ const std::vector<core::Analysis>& analyses() {
 const std::vector<core::MemoryModel>& space_models() {
   static const auto m = [] {
     std::vector<core::MemoryModel> out;
-    for (const auto& c : explore::model_space(true)) out.push_back(c.to_model());
+    for (const auto& c : explore::model_space(true)) {
+      out.push_back(c.to_model());
+    }
     return out;
   }();
   return m;

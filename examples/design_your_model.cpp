@@ -57,7 +57,8 @@ int main() {
   };
   const Named named[] = {
       {"SC", explore::sc_choices()},       {"TSO", explore::tso_choices()},
-      {"PSO", explore::pso_choices()},     {"IBM370", explore::ibm370_choices()},
+      {"PSO", explore::pso_choices()},
+      {"IBM370", explore::ibm370_choices()},
       {"RMO", explore::rmo_choices()},
   };
   std::printf("\nrelative to hardware models:\n");

@@ -63,8 +63,9 @@ int main(int argc, char** argv) {
 
   serve::Client client;
   std::string error;
-  const bool up = socket_path.empty() ? client.connect_tcp(tcp_port, &error)
-                                      : client.connect_unix(socket_path, &error);
+  const bool up = socket_path.empty()
+                      ? client.connect_tcp(tcp_port, &error)
+                      : client.connect_unix(socket_path, &error);
   if (!up) {
     std::fprintf(stderr, "litmus_client: %s\n", error.c_str());
     return 1;
@@ -123,7 +124,8 @@ int main(int argc, char** argv) {
       std::printf("test %zu (%s): allowed by", t, source_name(row.source));
       int allowed = 0;
       for (std::size_t m = 0; m < names.size(); ++m) {
-        if (row.known(static_cast<int>(m)) && row.allowed(static_cast<int>(m))) {
+        if (row.known(static_cast<int>(m)) &&
+            row.allowed(static_cast<int>(m))) {
           std::printf(" %s", names[m].c_str());
           ++allowed;
         }

@@ -148,7 +148,9 @@ int main(int argc, char** argv) {
           buffer << in.rdbuf();
           text = buffer.str();
         }
-        for (auto& t : litmus::parse_corpus(text)) tests.push_back(std::move(t));
+        for (auto& t : litmus::parse_corpus(text)) {
+          tests.push_back(std::move(t));
+        }
       }
     }
 

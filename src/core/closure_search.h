@@ -49,7 +49,6 @@ class ClosureSearch {
   /// violation.  Does not allocate.
   bool add_edge(Reach64& reach, EventId u, EventId v) const {
     if (u == v) return false;
-    const auto su = static_cast<std::size_t>(u);
     const auto sv = static_cast<std::size_t>(v);
     if ((reach.row[sv] & (1ULL << u)) != 0) return false;
     const std::uint64_t gain = (1ULL << v) | reach.row[sv];

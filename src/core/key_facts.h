@@ -76,7 +76,8 @@ class KeyFacts {
 
   /// True iff some event of the last built program defines `reg`.
   [[nodiscard]] bool defines(Reg reg) const {
-    return reg >= 0 && static_cast<std::size_t>(reg) < reg_defined_gen_.size() &&
+    return reg >= 0 &&
+           static_cast<std::size_t>(reg) < reg_defined_gen_.size() &&
            reg_defined_gen_[static_cast<std::size_t>(reg)] == gen_;
   }
 

@@ -85,7 +85,8 @@ std::vector<RfMap> enumerate_read_from(const Analysis& an,
       ++cursor[level];
       continue;
     }
-    rf[static_cast<std::size_t>(reads[level])] = candidates[level][cursor[level]];
+    rf[static_cast<std::size_t>(reads[level])] =
+        candidates[level][cursor[level]];
     ++level;
   }
   return result;

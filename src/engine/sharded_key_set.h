@@ -29,11 +29,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "util/check.h"
 #include "util/hash128.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mcmc::engine {
 
@@ -63,6 +64,7 @@ class ShardedKeySet {
   /// chunks, outside any parallel phase.
   void begin_chunk() {
     for (const auto& shard : shards_) {
+      util::MutexLock lock(shard->mu);
       for (const Slot& slot : shard->pending.slots) {
         if (slot.key != util::Key128{}) shard->sealed.insert(slot.key);
       }
@@ -81,7 +83,7 @@ class ShardedKeySet {
     // with claims: the hot path (a duplicate of an earlier chunk) takes
     // no lock at all.
     if (shard.sealed.contains(key)) return true;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     Slot& slot = shard.pending.slots[shard.pending.locate(key)];
     if (slot.key != key) {
       slot.key = key;
@@ -101,7 +103,7 @@ class ShardedKeySet {
   [[nodiscard]] std::uint32_t owner(util::Key128 key) const {
     normalize(key);
     const Shard& shard = shard_for(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     const Slot& slot = shard.pending.slots[shard.pending.locate(key)];
     MCMC_CHECK_MSG(slot.key == key,
                    "owner() queried for a key not claimed this chunk");
@@ -114,7 +116,7 @@ class ShardedKeySet {
   /// serialization sort the result.
   void export_keys(std::vector<util::Key128>& out) const {
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      util::MutexLock lock(shard->mu);
       for (const SealedSlot& slot : shard->sealed.slots) {
         if (slot.key != util::Key128{}) out.push_back(slot.key);
       }
@@ -137,7 +139,7 @@ class ShardedKeySet {
   [[nodiscard]] std::size_t size() const {
     std::size_t total = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      util::MutexLock lock(shard->mu);
       total += shard->sealed.count + shard->pending.count;
     }
     return total;
@@ -197,9 +199,14 @@ class ShardedKeySet {
   };
 
   struct Shard {
-    mutable std::mutex mu;        // guards `pending` during claims
-    SealedTable sealed;           // earlier chunks; parallel-phase immutable
-    FlatTable<Slot> pending;      // this chunk's first claims, min index
+    mutable util::Mutex mu;
+    // `sealed` rides a phase protocol the analysis cannot express:
+    // mutated only on the single consumer thread (begin_chunk/seed,
+    // never concurrent with claims) and probed lock-free during the
+    // parallel claim phase, when it is immutable.  TSan covers the
+    // protocol; the mutex-guarded state is `pending`.
+    SealedTable sealed;
+    FlatTable<Slot> pending GUARDED_BY(mu);  // this chunk's claims, min index
   };
 
   static constexpr std::size_t kInitialSlots = 64;

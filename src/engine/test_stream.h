@@ -8,17 +8,17 @@
 // at O(chunk size + unique keys), never O(corpus).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "litmus/test.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace mcmc::engine {
@@ -99,7 +99,7 @@ class ChunkPrefetcher final : public TestSource {
 
   ~ChunkPrefetcher() override {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       stop_ = true;
     }
     slot_free_.notify_all();
@@ -110,15 +110,17 @@ class ChunkPrefetcher final : public TestSource {
   ChunkPrefetcher& operator=(const ChunkPrefetcher&) = delete;
 
   bool next_chunk(std::vector<litmus::LitmusTest>& out) override {
-    std::unique_lock<std::mutex> lock(mu_);
-    chunk_ready_.wait(lock, [&] { return !queue_.empty() || done_; });
-    if (queue_.empty()) {
-      if (error_) std::rethrow_exception(error_);
-      return false;
+    Item item;
+    {
+      util::MutexLock lock(mu_);
+      while (queue_.empty() && !done_) chunk_ready_.wait(mu_);
+      if (queue_.empty()) {
+        if (error_) std::rethrow_exception(error_);
+        return false;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
     }
-    Item item = std::move(queue_.front());
-    queue_.pop_front();
-    lock.unlock();
     slot_free_.notify_one();
     if (out.empty()) {
       out = std::move(item.tests);
@@ -175,7 +177,7 @@ class ChunkPrefetcher final : public TestSource {
           item.cursor_valid = source_.snapshot_cursor(item.cursor);
         }
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         error_ = std::current_exception();
         done_ = true;
         chunk_ready_.notify_all();
@@ -184,8 +186,8 @@ class ChunkPrefetcher final : public TestSource {
       item.produce_seconds = timer.seconds();
       const bool more = item.more;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        slot_free_.wait(lock, [&] { return queue_.size() < depth_ || stop_; });
+        util::MutexLock lock(mu_);
+        while (queue_.size() >= depth_ && !stop_) slot_free_.wait(mu_);
         if (stop_) return;
         queue_.push_back(std::move(item));
         if (!more) done_ = true;
@@ -200,13 +202,15 @@ class ChunkPrefetcher final : public TestSource {
   bool capture_cursors_;
   std::thread producer_;
 
-  std::mutex mu_;
-  std::condition_variable chunk_ready_;  // consumer waits for a chunk
-  std::condition_variable slot_free_;    // producer waits for queue room
-  std::deque<Item> queue_;
-  bool done_ = false;   // producer exhausted the source (or errored)
-  bool stop_ = false;   // destructor: abandon production
-  std::exception_ptr error_;
+  util::Mutex mu_;
+  util::CondVar chunk_ready_;  // consumer waits for a chunk
+  util::CondVar slot_free_;    // producer waits for queue room
+  std::deque<Item> queue_ GUARDED_BY(mu_);
+  bool done_ GUARDED_BY(mu_) = false;  // source exhausted (or errored)
+  bool stop_ GUARDED_BY(mu_) = false;  // destructor: abandon production
+  std::exception_ptr error_ GUARDED_BY(mu_);
+  // Below: consumer-thread-only state (written in next_chunk, read by
+  // the consumer's snapshot/stat accessors) — no guard needed.
   double last_produce_seconds_ = 0.0;
   std::vector<std::uint64_t> last_cursor_;
   bool last_cursor_valid_ = false;
@@ -217,7 +221,8 @@ class ChunkPrefetcher final : public TestSource {
 class VectorSource final : public TestSource {
  public:
   VectorSource(std::vector<litmus::LitmusTest> tests, std::size_t chunk_size)
-      : tests_(std::move(tests)), chunk_size_(chunk_size == 0 ? 1 : chunk_size) {}
+      : tests_(std::move(tests)),
+        chunk_size_(chunk_size == 0 ? 1 : chunk_size) {}
 
   bool next_chunk(std::vector<litmus::LitmusTest>& out) override {
     const std::size_t end =

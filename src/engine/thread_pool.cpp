@@ -12,7 +12,7 @@ WorkStealingPool::WorkStealingPool(int total_threads)
 
 WorkStealingPool::~WorkStealingPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -20,23 +20,21 @@ WorkStealingPool::~WorkStealingPool() {
 }
 
 bool WorkStealingPool::Job::try_pop(std::size_t slot, std::size_t& out) {
-  std::lock_guard<std::mutex> lock(queue_mu[slot]);
-  auto& q = queues[slot];
-  if (q.empty()) return false;
-  out = q.back();
-  q.pop_back();
+  SlotQueue& sq = slots[slot];
+  util::MutexLock lock(sq.mu);
+  if (sq.pending.empty()) return false;
+  out = sq.pending.back();
+  sq.pending.pop_back();
   return true;
 }
 
 bool WorkStealingPool::Job::try_steal(std::size_t slot, std::size_t& out) {
-  const std::size_t n = queues.size();
-  for (std::size_t k = 1; k < n; ++k) {
-    const std::size_t victim = (slot + k) % n;
-    std::lock_guard<std::mutex> lock(queue_mu[victim]);
-    auto& q = queues[victim];
-    if (q.empty()) continue;
-    out = q.front();
-    q.pop_front();
+  for (std::size_t k = 1; k < num_slots; ++k) {
+    SlotQueue& victim = slots[(slot + k) % num_slots];
+    util::MutexLock lock(victim.mu);
+    if (victim.pending.empty()) continue;
+    out = victim.pending.front();
+    victim.pending.pop_front();
     return true;
   }
   return false;
@@ -52,7 +50,7 @@ void WorkStealingPool::Job::run_one(std::size_t index) {
       (*fn)(index);
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(err_mu);
+        util::MutexLock lock(err_mu);
         if (!err) err = std::current_exception();
       }
       failed.store(true, std::memory_order_release);
@@ -72,15 +70,18 @@ void WorkStealingPool::worker_loop() {
     std::shared_ptr<Job> job;
     std::size_t slot = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       // job_ may already be null again if the batch drained before this
       // worker woke; in that case keep waiting for the next epoch.
-      work_cv_.wait(lock,
-                    [&] { return stop_ || (job_ && epoch_ != seen_epoch); });
+      while (!stop_ && !(job_ != nullptr && epoch_ != seen_epoch)) {
+        work_cv_.wait(mu_);
+      }
       if (stop_) return;
       seen_epoch = epoch_;
       job = job_;
       // Spawned workers occupy slots 1..N-1; the submitting thread is 0.
+      // (workers_ is immutable after construction, so reading it here
+      // needs no guard.)
       for (std::size_t i = 0; i < workers_.size(); ++i) {
         if (workers_[i].get_id() == std::this_thread::get_id()) slot = i + 1;
       }
@@ -89,7 +90,7 @@ void WorkStealingPool::worker_loop() {
     // Taking mu_ before notifying orders this worker's final
     // remaining-decrement after any waiter's predicate check, so the
     // wakeup cannot be lost.
-    { std::lock_guard<std::mutex> lock(mu_); }
+    { util::MutexLock lock(mu_); }
     done_cv_.notify_all();
   }
 }
@@ -97,18 +98,24 @@ void WorkStealingPool::worker_loop() {
 void WorkStealingPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  util::MutexLock submit_lock(submit_mu_);
 
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   const auto slots = static_cast<std::size_t>(total_threads_);
-  job->queues.resize(slots);
-  job->queue_mu = std::make_unique<std::mutex[]>(slots);
-  for (std::size_t i = 0; i < n; ++i) job->queues[i % slots].push_back(i);
+  job->slots = std::make_unique<SlotQueue[]>(slots);
+  job->num_slots = slots;
+  for (std::size_t s = 0; s < slots; ++s) {
+    // Same round-robin distribution as pushing i to queue i % slots in
+    // index order, filled a slot at a time so each stripe locks once.
+    SlotQueue& sq = job->slots[s];
+    util::MutexLock lock(sq.mu);
+    for (std::size_t i = s; i < n; i += slots) sq.pending.push_back(i);
+  }
   job->remaining.store(n, std::memory_order_relaxed);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     job_ = job;
     ++epoch_;
   }
@@ -117,14 +124,19 @@ void WorkStealingPool::parallel_for(
   job->work(0);  // the submitting thread participates as slot 0
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] {
-      return job->remaining.load(std::memory_order_acquire) == 0;
-    });
+    util::MutexLock lock(mu_);
+    while (job->remaining.load(std::memory_order_acquire) != 0) {
+      done_cv_.wait(mu_);
+    }
     job_ = nullptr;
   }
 
-  if (job->err) std::rethrow_exception(job->err);
+  std::exception_ptr err;
+  {
+    util::MutexLock lock(job->err_mu);
+    err = job->err;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace mcmc::engine

@@ -8,18 +8,25 @@
 // back of its own deque and steals from the front of a victim's when it
 // runs dry.  Individual tasks are admissibility checks (microseconds to
 // milliseconds), so stealing one index at a time is plenty.
+//
+// Lock discipline (compile-time checked, see util/thread_annotations.h):
+// `mu_` guards the job hand-off state (job_, epoch_, stop_); each
+// per-slot deque has its own mutex; a Job's first captured exception is
+// guarded by err_mu.  `remaining` and `failed` are atomics outside any
+// lock.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mcmc::engine {
 
@@ -48,37 +55,43 @@ class WorkStealingPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
+  /// One worker slot's deque of pending indices, with its stripe lock.
+  struct SlotQueue {
+    util::Mutex mu;
+    std::deque<std::size_t> pending GUARDED_BY(mu);
+  };
+
   /// One batch of work shared between the participating threads.
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
-    std::vector<std::deque<std::size_t>> queues;  // one per worker slot
-    std::unique_ptr<std::mutex[]> queue_mu;
+    std::unique_ptr<SlotQueue[]> slots;  // one per worker slot
+    std::size_t num_slots = 0;
     std::atomic<std::size_t> remaining{0};
     std::atomic<bool> failed{false};  // set with the first captured error
-    std::mutex err_mu;
-    std::exception_ptr err;
+    util::Mutex err_mu;
+    std::exception_ptr err GUARDED_BY(err_mu);
 
     /// Runs tasks as worker `slot` until no queued work remains anywhere.
     void work(std::size_t slot);
 
    private:
-    bool try_pop(std::size_t slot, std::size_t& out);
-    bool try_steal(std::size_t slot, std::size_t& out);
+    [[nodiscard]] bool try_pop(std::size_t slot, std::size_t& out);
+    [[nodiscard]] bool try_steal(std::size_t slot, std::size_t& out);
     void run_one(std::size_t index);
   };
 
   void worker_loop();
 
   int total_threads_;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // immutable after construction
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait here for a new job
-  std::condition_variable done_cv_;   // parallel_for waits here for drain
-  std::shared_ptr<Job> job_;          // current job, null when idle
-  std::uint64_t epoch_ = 0;           // bumped per job so workers re-wake
-  bool stop_ = false;
-  std::mutex submit_mu_;              // serializes parallel_for callers
+  util::Mutex mu_;
+  util::CondVar work_cv_;   // workers wait here for a new job
+  util::CondVar done_cv_;   // parallel_for waits here for drain
+  std::shared_ptr<Job> job_ GUARDED_BY(mu_);  // current job, null when idle
+  std::uint64_t epoch_ GUARDED_BY(mu_) = 0;  // bumped per job, wakes workers
+  bool stop_ GUARDED_BY(mu_) = false;
+  util::Mutex submit_mu_;   // serializes parallel_for callers
 };
 
 }  // namespace mcmc::engine

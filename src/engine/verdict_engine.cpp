@@ -113,14 +113,14 @@ WorkStealingPool& VerdictEngine::pool() {
 }
 
 std::size_t VerdictEngine::cache_size() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  util::MutexLock lock(cache_mu_);
   std::size_t total = 0;
   for (const auto& [key, bucket] : cache_) total += bucket.size();
   return total;
 }
 
 void VerdictEngine::clear_cache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  util::MutexLock lock(cache_mu_);
   cache_.clear();
   pinned_custom_formulas_.clear();
   pinned_ids_.clear();
@@ -202,7 +202,7 @@ std::vector<char> VerdictEngine::run_batch_impl(
         // Pin the node so its address (= the cache key) cannot be
         // recycled by a different custom formula while this engine's
         // cached verdicts reference it.
-        std::lock_guard<std::mutex> lock(cache_mu_);
+        util::MutexLock lock(cache_mu_);
         if (pinned_ids_.insert(formula.identity()).second) {
           pinned_custom_formulas_.push_back(formula);
         }
@@ -327,7 +327,7 @@ std::vector<char> VerdictEngine::run_batch_impl(
   std::vector<Job> jobs;       // from_cache groups stay here too
   std::size_t live_jobs = 0;   // groups that actually need evaluation
   if (grouped) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    util::MutexLock lock(cache_mu_);
     // Per model class, its persistent-cache bucket (looked up once).
     std::vector<const std::unordered_map<util::Key128, bool, util::Key128Hash>*>
         buckets(model_class_key.size(), nullptr);
@@ -565,7 +565,7 @@ std::vector<char> VerdictEngine::run_batch_impl(
   // ---- Publish results and feed the persistent cache (grouped path
   // only: the direct path wrote results in place and persists nothing).
   if (cache_enabled && persist_verdicts) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    util::MutexLock lock(cache_mu_);
     for (const auto j : pending) {
       const auto& job = jobs[j];
       cache_[*model_class_key[static_cast<std::size_t>(job.model_cls)]]
@@ -576,13 +576,17 @@ std::vector<char> VerdictEngine::run_batch_impl(
   // Feed the on-disk store: every grouped verdict with a column, cached
   // or evaluated (rewriting a store-served bit is a no-op, and writing
   // cache-served ones keeps a part-warm store converging on complete).
+  // One exclusive acquisition covers the whole batch instead of a
+  // lock round trip per cell.
   if (vstore != nullptr) {
+    util::ExclusiveLock lock(vstore->mu());
     for (const auto& job : jobs) {
       if (model_keys[static_cast<std::size_t>(job.model)].custom) continue;
       const int col = store_cols[static_cast<std::size_t>(job.model_cls)];
       if (col >= 0) {
-        vstore->set_bit(test_class_key[static_cast<std::size_t>(job.test_cls)],
-                        col, job.result);
+        vstore->set_bit_locked(
+            test_class_key[static_cast<std::size_t>(job.test_cls)], col,
+            job.result);
       }
     }
   }
@@ -728,21 +732,24 @@ StreamStats VerdictEngine::run_stream(
           : nullptr;
   int seals = 0;
   int chunks_since_seal = 0;
-  if (persist != nullptr && persist->resume &&
-      vstore->checkpoint().has_value()) {
-    const store::StreamCheckpoint& ck = *vstore->checkpoint();
-    const bool sink_ok =
-        !persist->restore_sink || persist->restore_sink(ck.sink_state);
-    if (sink_ok && source.restore_cursor(ck.source_cursor)) {
-      if (seen) seen->seed(ck.seen_keys);
-      total.chunks = static_cast<std::size_t>(ck.chunks);
-      total.tests_streamed = static_cast<std::size_t>(ck.tests_streamed);
-      total.novel_tests = static_cast<std::size_t>(ck.novel_tests);
-      total.duplicate_tests = static_cast<std::size_t>(ck.duplicate_tests);
-    } else {
-      // Unusable checkpoint (source shape changed, or a sink that
-      // cannot adopt the state): drop it and recompute from scratch.
-      vstore->clear_checkpoint();
+  if (persist != nullptr && persist->resume) {
+    // checkpoint() hands out a copy (the stored one lives under the
+    // store's lock), so the restore steps below work on a stable value.
+    const std::optional<store::StreamCheckpoint> ck = vstore->checkpoint();
+    if (ck.has_value()) {
+      const bool sink_ok =
+          !persist->restore_sink || persist->restore_sink(ck->sink_state);
+      if (sink_ok && source.restore_cursor(ck->source_cursor)) {
+        if (seen) seen->seed(ck->seen_keys);
+        total.chunks = static_cast<std::size_t>(ck->chunks);
+        total.tests_streamed = static_cast<std::size_t>(ck->tests_streamed);
+        total.novel_tests = static_cast<std::size_t>(ck->novel_tests);
+        total.duplicate_tests = static_cast<std::size_t>(ck->duplicate_tests);
+      } else {
+        // Unusable checkpoint (source shape changed, or a sink that
+        // cannot adopt the state): drop it and recompute from scratch.
+        vstore->clear_checkpoint();
+      }
     }
   }
 
@@ -946,13 +953,16 @@ StreamStats VerdictEngine::run_stream(
       }
       cs.engine = last_stats_;
       // Write the evaluated rows back so the next cold run (or the next
-      // process) serves them from disk.
+      // process) serves them from disk — one exclusive acquisition for
+      // the whole chunk, not per bit.
       if (stream_store) {
+        util::ExclusiveLock lock(vstore->mu());
         for (const std::size_t k : eval_pos) {
           const auto t = static_cast<std::size_t>(novel_idx[k]);
           for (int m = 0; m < num_models; ++m) {
-            vstore->set_bit(key_hashes[t], store_cols[static_cast<std::size_t>(m)],
-                            verdicts.get(m, static_cast<int>(k)));
+            vstore->set_bit_locked(key_hashes[t],
+                                   store_cols[static_cast<std::size_t>(m)],
+                                   verdicts.get(m, static_cast<int>(k)));
           }
         }
       }

@@ -33,7 +33,6 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -47,6 +46,8 @@
 #include "engine/thread_pool.h"
 #include "litmus/test.h"
 #include "util/hash128.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mcmc::store {
 class VerdictStore;
@@ -346,19 +347,19 @@ class VerdictEngine {
   std::unique_ptr<WorkStealingPool> pool_;  // created on first parallel batch
   store::VerdictStore* store_ = nullptr;    // caller-owned, optional
 
-  mutable std::mutex cache_mu_;
+  mutable util::Mutex cache_mu_;
   /// model key -> (test fingerprint -> verdict).  Two-level so a batch
   /// resolves each model key string once; the inner map is keyed by the
   /// 128-bit canonical/structural fingerprint, so no per-test key
   /// string is ever materialized or retained.
   std::unordered_map<std::string,
                      std::unordered_map<util::Key128, bool, util::Key128Hash>>
-      cache_;
+      cache_ GUARDED_BY(cache_mu_);
   /// Custom-predicate formulas are cache-keyed by their node address;
   /// retaining a copy pins the node so the address cannot be recycled
   /// by a different formula while its verdicts are cached.
-  std::vector<core::Formula> pinned_custom_formulas_;
-  std::unordered_set<const void*> pinned_ids_;
+  std::vector<core::Formula> pinned_custom_formulas_ GUARDED_BY(cache_mu_);
+  std::unordered_set<const void*> pinned_ids_ GUARDED_BY(cache_mu_);
 
   EngineStats last_stats_;
   EngineStats total_stats_;

@@ -21,8 +21,8 @@ namespace {
 std::uint64_t options_digest(const ExhaustiveOptions& o,
                              std::size_t num_shapes) {
   std::string bytes;
-  util::append_u64(bytes,
-                   static_cast<std::uint64_t>(o.bounds.max_accesses_per_thread));
+  util::append_u64(
+      bytes, static_cast<std::uint64_t>(o.bounds.max_accesses_per_thread));
   util::append_u64(bytes, static_cast<std::uint64_t>(o.bounds.num_locations));
   util::append_u64(bytes, (o.bounds.fences ? 1ULL : 0ULL) |
                               (o.bounds.deps ? 2ULL : 0ULL) |
@@ -69,7 +69,7 @@ bool ExhaustiveStream::start_next_program() {
     if (options_.track_program_classes) {
       // A copy, not a fingerprint: hashing is the consumer's job
       // (ProgramClassTally), so the producer thread never pays it.
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      util::MutexLock lock(pending_mu_);
       pending_programs_.push_back(program_);
     }
     return true;
@@ -104,7 +104,7 @@ void ExhaustiveStream::build_program() {
 }
 
 void ExhaustiveStream::take_new_programs(std::vector<core::Program>& out) {
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  util::MutexLock lock(pending_mu_);
   if (out.empty()) {
     out.swap(pending_programs_);
   } else {
@@ -182,7 +182,7 @@ bool ExhaustiveStream::restore_cursor(
   {
     // A restore is a position reset: programs queued before it no
     // longer correspond to the stream's past.
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     pending_programs_.clear();
   }
 

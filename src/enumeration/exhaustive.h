@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -29,6 +28,8 @@
 #include "enumeration/shapes.h"
 #include "litmus/test.h"
 #include "util/hash128.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mcmc::enumeration {
 
@@ -135,8 +136,8 @@ class ExhaustiveStream final : public engine::TestSource {
   // The producer appends a copy per program; take_new_programs empties
   // it under the same mutex.  Bounded in practice by however far the
   // prefetcher runs ahead of the draining consumer.
-  mutable std::mutex pending_mu_;
-  std::vector<core::Program> pending_programs_;
+  mutable util::Mutex pending_mu_;
+  std::vector<core::Program> pending_programs_ GUARDED_BY(pending_mu_);
 };
 
 /// Consumer-side accumulator of canonical program classes: feed it the
@@ -194,6 +195,7 @@ struct ReductionCounts {
   }
 };
 
-[[nodiscard]] ReductionCounts measure_reduction(const ExhaustiveOptions& options);
+[[nodiscard]] ReductionCounts measure_reduction(
+    const ExhaustiveOptions& options);
 
 }  // namespace mcmc::enumeration

@@ -26,7 +26,9 @@ class PairSet {
   }
   [[nodiscard]] std::size_t count() const {
     std::size_t n = 0;
-    for (const auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    for (const auto w : words_) {
+      n += static_cast<std::size_t>(__builtin_popcountll(w));
+    }
     return n;
   }
   [[nodiscard]] std::size_t count_uncovered_in(const PairSet& universe) const {

@@ -34,13 +34,15 @@ Lattice build_lattice(const AdmissibilityMatrix& matrix,
 
   // Strict order between class representatives.
   const int k = static_cast<int>(lattice.nodes.size());
-  std::vector<std::vector<bool>> weaker(static_cast<std::size_t>(k),
-                                        std::vector<bool>(static_cast<std::size_t>(k), false));
+  std::vector<std::vector<bool>> weaker(
+      static_cast<std::size_t>(k),
+      std::vector<bool>(static_cast<std::size_t>(k), false));
   for (int a = 0; a < k; ++a) {
     for (int b = 0; b < k; ++b) {
       if (a == b) continue;
-      const Relation r = matrix.compare(lattice.nodes[static_cast<std::size_t>(a)].members[0],
-                                        lattice.nodes[static_cast<std::size_t>(b)].members[0]);
+      const Relation r = matrix.compare(
+          lattice.nodes[static_cast<std::size_t>(a)].members[0],
+          lattice.nodes[static_cast<std::size_t>(b)].members[0]);
       weaker[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
           r == Relation::FirstWeaker;
     }
@@ -55,8 +57,9 @@ Lattice build_lattice(const AdmissibilityMatrix& matrix,
       bool covered = false;
       for (int c = 0; c < k && !covered; ++c) {
         if (c == a || c == b) continue;
-        covered = weaker[static_cast<std::size_t>(a)][static_cast<std::size_t>(c)] &&
-                  weaker[static_cast<std::size_t>(c)][static_cast<std::size_t>(b)];
+        covered =
+            weaker[static_cast<std::size_t>(a)][static_cast<std::size_t>(c)] &&
+            weaker[static_cast<std::size_t>(c)][static_cast<std::size_t>(b)];
       }
       if (covered) continue;
       LatticeEdge edge;

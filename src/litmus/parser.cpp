@@ -172,7 +172,9 @@ Instruction parse_instruction(const std::string& line, int line_no) {
       if (areg >= 0) fail(line_no, "indirect store with register value");
       return core::make_write_from_reg(loc, parse_register(toks[3], line_no));
     }
-    if (!is_integer(toks[3])) fail(line_no, "bad store value '" + toks[3] + "'");
+    if (!is_integer(toks[3])) {
+      fail(line_no, "bad store value '" + toks[3] + "'");
+    }
     const int value = parse_value(toks[3], line_no);
     return (areg >= 0) ? core::make_write_indirect(areg, value)
                        : core::make_write(loc, value);
@@ -229,7 +231,9 @@ LitmusTest parse_test(const std::string& text) {
     if (threads.empty()) fail(line_no, "instruction before any 'thread:'");
     threads.back().push_back(parse_instruction(line, line_no));
   }
-  if (threads.empty()) throw std::invalid_argument("litmus test has no threads");
+  if (threads.empty()) {
+    throw std::invalid_argument("litmus test has no threads");
+  }
   if (!saw_outcome) throw std::invalid_argument("litmus test has no outcome");
   try {
     return LitmusTest(name, core::Program(std::move(threads)), outcome);

@@ -360,7 +360,8 @@ util::Key128 canonical_fingerprint(const core::Program& program,
   perm.resize(static_cast<std::size_t>(num_threads));
   std::iota(perm.begin(), perm.end(), 0);
 
-  util::Key128 best = fingerprint_permuted(scratch.facts, outcome, perm, scratch);
+  util::Key128 best =
+      fingerprint_permuted(scratch.facts, outcome, perm, scratch);
   // Minimum digest over the same permutation sweep as canonical_key
   // (identity-only beyond 6 threads): the digest *set* is an orbit
   // invariant, so min-equality decides class equality regardless of

@@ -383,7 +383,8 @@ void Solver::rebuild_order_heap() {
 
 void Solver::heap_insert(Var v) {
   if (heap_pos_[static_cast<std::size_t>(v)] >= 0) return;
-  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(heap_.size());
+  heap_pos_[static_cast<std::size_t>(v)] =
+      static_cast<std::int32_t>(heap_.size());
   heap_.push_back(v);
   heap_sift_up(heap_.size() - 1);
 }
@@ -395,7 +396,8 @@ void Solver::heap_sift_up(std::size_t i) {
     const std::size_t parent = (i - 1) / 2;
     if (activity_[static_cast<std::size_t>(heap_[parent])] >= act) break;
     heap_[i] = heap_[parent];
-    heap_pos_[static_cast<std::size_t>(heap_[i])] = static_cast<std::int32_t>(i);
+    heap_pos_[static_cast<std::size_t>(heap_[i])] =
+        static_cast<std::int32_t>(i);
     i = parent;
   }
   heap_[i] = v;
@@ -415,7 +417,8 @@ void Solver::heap_sift_down(std::size_t i) {
     }
     if (activity_[static_cast<std::size_t>(heap_[child])] <= act) break;
     heap_[i] = heap_[child];
-    heap_pos_[static_cast<std::size_t>(heap_[i])] = static_cast<std::int32_t>(i);
+    heap_pos_[static_cast<std::size_t>(heap_[i])] =
+        static_cast<std::int32_t>(i);
     i = child;
   }
   heap_[i] = v;

@@ -45,7 +45,9 @@ class Solver {
   Var new_var();
 
   /// Number of variables created so far.
-  [[nodiscard]] int num_vars() const { return static_cast<int>(assign_.size()); }
+  [[nodiscard]] int num_vars() const {
+    return static_cast<int>(assign_.size());
+  }
 
   /// Adds a clause (disjunction of literals).  Returns false if the clause
   /// makes the formula trivially unsatisfiable (empty after simplification

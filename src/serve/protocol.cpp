@@ -151,7 +151,8 @@ bool decode_request(const std::string& payload, Request& out,
     case MsgType::kBatchProbe: {
       out.type = MsgType::kBatchProbe;
       const std::uint32_t n = reader.read_u32();
-      if (!reader.ok() || static_cast<std::size_t>(n) * 16 > reader.remaining()) {
+      if (!reader.ok() ||
+          static_cast<std::size_t>(n) * 16 > reader.remaining()) {
         return false;
       }
       out.keys.resize(n);
@@ -195,7 +196,8 @@ bool decode_response(const std::string& payload, Response& out) {
       out.type = MsgType::kVerdictRows;
       const std::uint32_t n = reader.read_u32();
       // Each row is at least source + num_models bytes.
-      if (!reader.ok() || static_cast<std::size_t>(n) * 5 > reader.remaining()) {
+      if (!reader.ok() ||
+          static_cast<std::size_t>(n) * 5 > reader.remaining()) {
         return false;
       }
       out.rows.resize(n);
@@ -207,7 +209,8 @@ bool decode_response(const std::string& payload, Response& out) {
     case MsgType::kStatsReply: {
       out.type = MsgType::kStatsReply;
       const std::uint32_t n = reader.read_u32();
-      if (!reader.ok() || static_cast<std::size_t>(n) * 8 > reader.remaining()) {
+      if (!reader.ok() ||
+          static_cast<std::size_t>(n) * 8 > reader.remaining()) {
         return false;
       }
       out.stats.resize(n);
@@ -218,7 +221,8 @@ bool decode_response(const std::string& payload, Response& out) {
       out.type = MsgType::kModelsReply;
       const std::uint32_t n = reader.read_u32();
       // Each name is at least its 4-byte length word.
-      if (!reader.ok() || static_cast<std::size_t>(n) * 4 > reader.remaining()) {
+      if (!reader.ok() ||
+          static_cast<std::size_t>(n) * 4 > reader.remaining()) {
         return false;
       }
       out.model_names.resize(n);

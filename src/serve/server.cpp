@@ -171,7 +171,7 @@ bool Server::start(std::string* error) {
 void Server::request_stop() {
   if (!started_.load()) return;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    util::MutexLock lock(queue_mu_);
     if (draining_.load()) return;
     draining_.store(true);
   }
@@ -188,7 +188,7 @@ void Server::wait() {
   // this copy sees is complete.
   std::vector<std::shared_ptr<Connection>> conns;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    util::MutexLock lock(conns_mu_);
     conns = conns_;
   }
   for (auto& conn : conns) {
@@ -225,7 +225,7 @@ void Server::accept_loop() {
   }
   // Drain: readers see EOF after their in-flight request; their fds
   // stay valid (and owned by them) until they close.
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  util::MutexLock lock(conns_mu_);
   for (auto& conn : conns_) {
     if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
   }
@@ -236,7 +236,7 @@ void Server::handle_connection(int fd) {
   conn->fd = fd;
   connections_opened_.fetch_add(1, std::memory_order_relaxed);
   connections_active_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  util::MutexLock lock(conns_mu_);
   conns_.push_back(conn);
   conn->thread = std::thread([this, conn] { reader_loop(conn); });
 }
@@ -301,7 +301,7 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
   {
     // The drain path shutdowns fds under the same lock, so it can
     // never touch a closed (possibly reused) descriptor.
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    util::MutexLock lock(conns_mu_);
     ::close(conn->fd);
     conn->fd = -1;
   }
@@ -448,7 +448,7 @@ Response Server::handle_stats(const Connection& conn, std::uint64_t id) {
   s[kStatBatchesCoalesced] = relaxed(batches_coalesced_);
   s[kStatMaxCoalesced] = relaxed(max_coalesced_);
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    util::MutexLock lock(queue_mu_);
     s[kStatQueueDepth] = queued_tests_;
   }
   s[kStatQueueRejected] = relaxed(queue_rejected_);
@@ -465,7 +465,7 @@ Response Server::handle_stats(const Connection& conn, std::uint64_t id) {
 
 bool Server::enqueue(WorkItem&& item, ErrorCode& code) {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    util::MutexLock lock(queue_mu_);
     if (draining_.load()) {
       code = ErrorCode::kShuttingDown;
       return false;
@@ -487,9 +487,8 @@ void Server::batcher_loop() {
     std::vector<WorkItem> batch;
     std::size_t batch_tests = 0;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock,
-                     [this] { return !queue_.empty() || draining_.load(); });
+      util::MutexLock lock(queue_mu_);
+      while (queue_.empty() && !draining_.load()) queue_cv_.wait(queue_mu_);
       if (queue_.empty() && draining_.load()) return;
       // Coalesce: take queued items (novel tests from ANY connection)
       // into one engine run, up to the batch bound — but always at
@@ -581,7 +580,8 @@ std::uint64_t Server::latency_quantile(double q) const {
     total += bucket.load(std::memory_order_relaxed);
   }
   if (total == 0) return 0;
-  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total));
   std::uint64_t seen = 0;
   for (int i = 0; i < 64; ++i) {
     seen += latency_buckets_[i].load(std::memory_order_relaxed);

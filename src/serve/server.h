@@ -31,11 +31,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +43,8 @@
 #include "litmus/test.h"
 #include "serve/protocol.h"
 #include "store/verdict_store.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mcmc::serve {
 
@@ -149,13 +149,13 @@ class Server {
 
   std::thread accept_thread_;
   std::thread batcher_thread_;
-  std::mutex conns_mu_;
-  std::vector<std::shared_ptr<Connection>> conns_;
+  util::Mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_ GUARDED_BY(conns_mu_);
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::vector<WorkItem> queue_;
-  std::size_t queued_tests_ = 0;
+  util::Mutex queue_mu_;
+  util::CondVar queue_cv_;  // batcher waits for work or drain
+  std::vector<WorkItem> queue_ GUARDED_BY(queue_mu_);
+  std::size_t queued_tests_ GUARDED_BY(queue_mu_) = 0;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};

@@ -105,9 +105,9 @@ std::uint32_t VerdictStore::row_of(util::Key128 test) {
   return it->second;
 }
 
-std::optional<bool> VerdictStore::probe_bit(util::Key128 test, int col) {
+std::optional<bool> VerdictStore::probe_bit_locked(util::Key128 test,
+                                                   int col) const {
   MCMC_CHECK_MSG(col >= 0 && col < num_models(), "store column out of range");
-  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(test);
   if (it != index_.end()) {
     const std::size_t base = static_cast<std::size_t>(it->second) * words_;
@@ -122,17 +122,18 @@ std::optional<bool> VerdictStore::probe_bit(util::Key128 test, int col) {
   return std::nullopt;
 }
 
-bool VerdictStore::probe_row(util::Key128 test, const std::vector<int>& cols,
-                             std::vector<std::uint64_t>& out) {
+bool VerdictStore::probe_row_locked(util::Key128 test,
+                                    const std::vector<int>& cols,
+                                    std::vector<std::uint64_t>& out) const {
   out.assign((cols.size() + 63) / 64, 0);
-  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(test);
   if (it != index_.end()) {
     const std::size_t base = static_cast<std::size_t>(it->second) * words_;
     bool all = true;
     for (std::size_t i = 0; i < cols.size(); ++i) {
       const int col = cols[i];
-      MCMC_CHECK_MSG(col >= 0 && col < num_models(), "store column out of range");
+      MCMC_CHECK_MSG(col >= 0 && col < num_models(),
+                     "store column out of range");
       const std::size_t word = static_cast<std::size_t>(col) / 64;
       const std::uint64_t mask = 1ULL << (static_cast<std::size_t>(col) % 64);
       if ((valid_[base + word] & mask) == 0) {
@@ -150,9 +151,8 @@ bool VerdictStore::probe_row(util::Key128 test, const std::vector<int>& cols,
   return false;
 }
 
-void VerdictStore::set_bit(util::Key128 test, int col, bool verdict) {
+void VerdictStore::set_bit_locked(util::Key128 test, int col, bool verdict) {
   MCMC_CHECK_MSG(col >= 0 && col < num_models(), "store column out of range");
-  std::unique_lock<std::shared_mutex> lock(mu_);
   const std::size_t base = static_cast<std::size_t>(row_of(test)) * words_;
   const std::size_t word = static_cast<std::size_t>(col) / 64;
   const std::uint64_t mask = 1ULL << (static_cast<std::size_t>(col) % 64);
@@ -221,7 +221,7 @@ bool VerdictStore::save(const std::string& path, Fs* fs, std::string* error) {
   // snapshot (never a half-written row).
   std::string bytes;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    util::SharedLock lock(mu_);
     bytes = serialize();
   }
 
@@ -317,80 +317,86 @@ OpenResult VerdictStore::open(const std::string& path, StoreMeta meta,
     return result;
   }
 
-  for (std::uint32_t s = 0; s < section_count; ++s) {
-    const std::uint32_t tag = r.read_u32();
-    (void)r.read_u32();  // reserved
-    const std::uint64_t payload_len = r.read_u64();
-    const util::Key128 payload_sum = r.read_key128();
-    if (!r.ok() || payload_len > r.remaining()) {
-      return corrupt("truncated section header");
-    }
-    const char* payload = r.read_bytes(static_cast<std::size_t>(payload_len));
-    if (payload == nullptr ||
-        payload_sum !=
-            util::hash128(payload, static_cast<std::size_t>(payload_len))) {
-      return corrupt("section checksum mismatch");
-    }
-    util::ByteReader p(payload, static_cast<std::size_t>(payload_len));
-    if (tag == kTagVerdicts) {
-      const std::uint64_t entry_count = p.read_u64();
-      const std::uint32_t words = p.read_u32();
-      (void)p.read_u32();  // reserved
-      if (words != store.words_ ||
-          entry_count > p.remaining() / (16 + 16 * store.words_)) {
-        return corrupt("verdict section geometry");
+  // Population touches the guarded maps/slabs; this store is freshly
+  // constructed and unshared, but the annotations don't know that, so
+  // hold the writer lock (uncontended) for the section loop.
+  {
+    util::ExclusiveLock lock(store.mu_);
+    for (std::uint32_t s = 0; s < section_count; ++s) {
+      const std::uint32_t tag = r.read_u32();
+      (void)r.read_u32();  // reserved
+      const std::uint64_t payload_len = r.read_u64();
+      const util::Key128 payload_sum = r.read_key128();
+      if (!r.ok() || payload_len > r.remaining()) {
+        return corrupt("truncated section header");
       }
-      store.index_.reserve(static_cast<std::size_t>(entry_count));
-      store.valid_.reserve(static_cast<std::size_t>(entry_count) *
-                           store.words_);
-      store.bits_.reserve(static_cast<std::size_t>(entry_count) *
-                          store.words_);
-      for (std::uint64_t i = 0; i < entry_count; ++i) {
-        const util::Key128 key = p.read_key128();
-        const std::size_t base =
-            static_cast<std::size_t>(store.row_of(key)) * store.words_;
-        for (std::size_t w = 0; w < store.words_; ++w) {
-          store.valid_[base + w] = p.read_u64();
+      const char* payload = r.read_bytes(static_cast<std::size_t>(payload_len));
+      if (payload == nullptr ||
+          payload_sum !=
+              util::hash128(payload, static_cast<std::size_t>(payload_len))) {
+        return corrupt("section checksum mismatch");
+      }
+      util::ByteReader p(payload, static_cast<std::size_t>(payload_len));
+      if (tag == kTagVerdicts) {
+        const std::uint64_t entry_count = p.read_u64();
+        const std::uint32_t words = p.read_u32();
+        (void)p.read_u32();  // reserved
+        if (words != store.words_ ||
+            entry_count > p.remaining() / (16 + 16 * store.words_)) {
+          return corrupt("verdict section geometry");
         }
-        for (std::size_t w = 0; w < store.words_; ++w) {
-          store.bits_[base + w] = p.read_u64();
+        store.index_.reserve(static_cast<std::size_t>(entry_count));
+        store.valid_.reserve(static_cast<std::size_t>(entry_count) *
+                             store.words_);
+        store.bits_.reserve(static_cast<std::size_t>(entry_count) *
+                            store.words_);
+        for (std::uint64_t i = 0; i < entry_count; ++i) {
+          const util::Key128 key = p.read_key128();
+          const std::size_t base =
+              static_cast<std::size_t>(store.row_of(key)) * store.words_;
+          for (std::size_t w = 0; w < store.words_; ++w) {
+            store.valid_[base + w] = p.read_u64();
+          }
+          for (std::size_t w = 0; w < store.words_; ++w) {
+            store.bits_[base + w] = p.read_u64();
+          }
         }
+        if (store.index_.size() != entry_count) p.fail();  // duplicate keys
+      } else if (tag == kTagCheckpoint) {
+        StreamCheckpoint ck;
+        ck.chunks = p.read_u64();
+        ck.tests_streamed = p.read_u64();
+        ck.novel_tests = p.read_u64();
+        ck.duplicate_tests = p.read_u64();
+        const std::uint64_t seen = p.read_u64();
+        if (seen > p.remaining() / 16) {
+          p.fail();
+        } else {
+          ck.seen_keys.resize(static_cast<std::size_t>(seen));
+          for (auto& k : ck.seen_keys) k = p.read_key128();
+        }
+        ck.source_cursor = read_words(p);
+        ck.sink_state = read_words(p);
+        if (p.ok()) store.checkpoint_ = std::move(ck);
       }
-      if (store.index_.size() != entry_count) p.fail();  // duplicate keys
-    } else if (tag == kTagCheckpoint) {
-      StreamCheckpoint ck;
-      ck.chunks = p.read_u64();
-      ck.tests_streamed = p.read_u64();
-      ck.novel_tests = p.read_u64();
-      ck.duplicate_tests = p.read_u64();
-      const std::uint64_t seen = p.read_u64();
-      if (seen > p.remaining() / 16) {
-        p.fail();
-      } else {
-        ck.seen_keys.resize(static_cast<std::size_t>(seen));
-        for (auto& k : ck.seen_keys) k = p.read_key128();
+      // Unknown tags are impossible at a matching format version; treat
+      // them as damage rather than skipping silently.
+      if (tag != kTagVerdicts && tag != kTagCheckpoint) p.fail();
+      if (!p.ok() || p.remaining() != 0) {
+        store.index_.clear();
+        store.valid_.clear();
+        store.bits_.clear();
+        store.checkpoint_.reset();
+        return corrupt("malformed section payload");
       }
-      ck.source_cursor = read_words(p);
-      ck.sink_state = read_words(p);
-      if (p.ok()) store.checkpoint_ = std::move(ck);
     }
-    // Unknown tags are impossible at a matching format version; treat
-    // them as damage rather than skipping silently.
-    if (tag != kTagVerdicts && tag != kTagCheckpoint) p.fail();
-    if (!p.ok() || p.remaining() != 0) {
+    if (r.remaining() != 0) {
       store.index_.clear();
       store.valid_.clear();
       store.bits_.clear();
       store.checkpoint_.reset();
-      return corrupt("malformed section payload");
+      return corrupt("trailing bytes after sections");
     }
-  }
-  if (r.remaining() != 0) {
-    store.index_.clear();
-    store.valid_.clear();
-    store.bits_.clear();
-    store.checkpoint_.reset();
-    return corrupt("trailing bytes after sections");
   }
 
   result.outcome = OpenOutcome::Loaded;

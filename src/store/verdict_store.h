@@ -36,30 +36,32 @@
 // above is exercised by fault injection (store/fs.h) in the dedicated
 // store test suites.
 //
-// Thread-safety: shared read, serialized append/commit.  Any number
-// of threads may call the probe methods (and size/hits/misses)
-// concurrently — litmusd's per-connection readers do exactly that —
-// while at most one thread at a time appends via set_bit or touches
-// the checkpoint; save() may run concurrently with probes (it takes
-// the same shared view) but excludes appends, so a commit is always a
-// consistent snapshot.  A single writer needs no external
-// coordination with any number of readers: the store synchronizes
-// internally (reader-writer lock over the maps/slabs, relaxed atomic
-// hit/miss counters).  Multiple *writers* must serialize among
-// themselves only in the sense that the lock makes their appends
-// atomic — interleaved set_bit calls from two threads are safe but
-// their order is unspecified.  open() constructs fresh state and is
-// not concurrent with anything; column_of reads post-construction
-// immutable state and needs no lock.
+// Thread-safety: shared read, serialized append/commit — and the
+// contract is compile-time checked.  The store's reader-writer lock is
+// exposed as mu(); the `_locked` methods carry REQUIRES_SHARED (probes)
+// or REQUIRES (appends) on it, so Clang Thread Safety Analysis rejects
+// a probe without at least a shared hold and an append without the
+// exclusive hold.  The convenience wrappers (probe_bit, probe_row,
+// set_bit, checkpoint accessors) are EXCLUDES(mu()): they take the
+// right lock themselves, one call at a time.  Batch writers (the
+// engine's chunk write-back) hold one util::ExclusiveLock over
+// mu() and call set_bit_locked per cell — one acquisition per batch.
+//
+// Any number of threads may probe concurrently — litmusd's
+// per-connection readers do exactly that — while appends serialize
+// through the exclusive lock; save() may run concurrently with probes
+// (it serializes under the same shared view) but excludes appends, so
+// a commit is always a consistent snapshot.  Hit/miss counters are
+// relaxed atomics outside the lock.  open() constructs fresh state
+// (populating it under the exclusive lock it has sole access to);
+// column_of reads post-construction immutable state and needs no lock.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <functional>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -68,6 +70,8 @@
 #include "core/model.h"
 #include "store/fs.h"
 #include "util/hash128.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mcmc::store {
 
@@ -196,12 +200,12 @@ class VerdictStore {
   /// `path`.  False on any filesystem failure; `path` then still holds
   /// whatever complete file it held before.
   [[nodiscard]] bool save(const std::string& path, Fs* fs = nullptr,
-                          std::string* error = nullptr);
+                          std::string* error = nullptr) EXCLUDES(mu_);
 
   [[nodiscard]] const StoreMeta& meta() const { return meta_; }
   [[nodiscard]] int num_models() const { return meta_.num_models(); }
-  [[nodiscard]] std::size_t size() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+  [[nodiscard]] std::size_t size() const EXCLUDES(mu_) {
+    util::SharedLock lock(mu_);
     return index_.size();
   }
   [[nodiscard]] std::size_t words_per_row() const { return words_; }
@@ -210,19 +214,53 @@ class VerdictStore {
   /// (unknown model, or the empty custom-predicate key).
   [[nodiscard]] int column_of(const std::string& model_key) const;
 
+  /// The store's reader-writer lock, for callers batching many
+  /// `_locked` calls under one acquisition (util::SharedLock for
+  /// probes, util::ExclusiveLock for appends).
+  [[nodiscard]] util::SharedMutex& mu() const RETURN_CAPABILITY(mu_) {
+    return mu_;
+  }
+
+  // ---- The locking contract, in the types: probes require at least a
+  // shared hold of mu(), appends require the exclusive hold. ----
+
   /// The verdict bit of (test, column), if present.  Counts one cell
   /// hit or miss.
-  [[nodiscard]] std::optional<bool> probe_bit(util::Key128 test, int col);
+  [[nodiscard]] std::optional<bool> probe_bit_locked(util::Key128 test,
+                                                     int col) const
+      REQUIRES_SHARED(mu_);
 
   /// Full-row probe: true iff every column in `cols` is present, in
   /// which case bit i of `out` (indexed like `cols`) is column
   /// cols[i]'s verdict.  Counts |cols| hits on success, |cols| misses
   /// otherwise.
-  [[nodiscard]] bool probe_row(util::Key128 test,
-                               const std::vector<int>& cols,
-                               std::vector<std::uint64_t>& out);
+  [[nodiscard]] bool probe_row_locked(util::Key128 test,
+                                      const std::vector<int>& cols,
+                                      std::vector<std::uint64_t>& out) const
+      REQUIRES_SHARED(mu_);
 
-  void set_bit(util::Key128 test, int col, bool verdict);
+  /// Appends (or overwrites) one verdict bit.
+  void set_bit_locked(util::Key128 test, int col, bool verdict) REQUIRES(mu_);
+
+  // ---- Lock-taking wrappers: one acquisition per call. ----
+
+  [[nodiscard]] std::optional<bool> probe_bit(util::Key128 test, int col) const
+      EXCLUDES(mu_) {
+    util::SharedLock lock(mu_);
+    return probe_bit_locked(test, col);
+  }
+
+  [[nodiscard]] bool probe_row(util::Key128 test, const std::vector<int>& cols,
+                               std::vector<std::uint64_t>& out) const
+      EXCLUDES(mu_) {
+    util::SharedLock lock(mu_);
+    return probe_row_locked(test, cols, out);
+  }
+
+  void set_bit(util::Key128 test, int col, bool verdict) EXCLUDES(mu_) {
+    util::ExclusiveLock lock(mu_);
+    set_bit_locked(test, col, verdict);
+  }
 
   /// Cell-level accounting since construction (or reset_counters):
   /// the store hit rate bench_exhaustive reports is
@@ -241,38 +279,40 @@ class VerdictStore {
   }
 
   // ---- Stream checkpoint (persisted alongside the entries).  The
-  // getter hands out a reference, so it belongs to the writer role:
-  // call it only from the thread that owns appends (run_stream's
-  // serial resume/seal phases do). ----
-  [[nodiscard]] const std::optional<StreamCheckpoint>& checkpoint() const {
+  // getter hands out a copy: the stored value lives under mu_, so a
+  // reference would dangle the moment an appender ran. ----
+  [[nodiscard]] std::optional<StreamCheckpoint> checkpoint() const
+      EXCLUDES(mu_) {
+    util::SharedLock lock(mu_);
     return checkpoint_;
   }
-  void set_checkpoint(StreamCheckpoint ck) {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+  void set_checkpoint(StreamCheckpoint ck) EXCLUDES(mu_) {
+    util::ExclusiveLock lock(mu_);
     checkpoint_ = std::move(ck);
   }
-  void clear_checkpoint() {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+  void clear_checkpoint() EXCLUDES(mu_) {
+    util::ExclusiveLock lock(mu_);
     checkpoint_.reset();
   }
 
  private:
-  [[nodiscard]] std::uint32_t row_of(util::Key128 test);
-  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] std::uint32_t row_of(util::Key128 test) REQUIRES(mu_);
+  [[nodiscard]] std::string serialize() const REQUIRES_SHARED(mu_);
 
   StoreMeta meta_;
   std::size_t words_ = 0;  ///< words per row (and per validity mask)
-  std::unordered_map<util::Key128, std::uint32_t, util::Key128Hash> index_;
-  std::vector<std::uint64_t> valid_;  ///< size() x words_, slab
-  std::vector<std::uint64_t> bits_;   ///< size() x words_, slab
-  std::unordered_map<std::string, int> column_;
-  std::optional<StreamCheckpoint> checkpoint_;
   /// Readers-writer lock implementing the header contract: probes,
-  /// size(), and save()'s serialization hold it shared; set_bit and
+  /// size(), and save()'s serialization hold it shared; appends and
   /// the checkpoint setters hold it exclusive.
-  mutable std::shared_mutex mu_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
+  mutable util::SharedMutex mu_;
+  std::unordered_map<util::Key128, std::uint32_t, util::Key128Hash> index_
+      GUARDED_BY(mu_);
+  std::vector<std::uint64_t> valid_ GUARDED_BY(mu_);  ///< size() x words_
+  std::vector<std::uint64_t> bits_ GUARDED_BY(mu_);   ///< size() x words_
+  std::unordered_map<std::string, int> column_;  // immutable post-ctor
+  std::optional<StreamCheckpoint> checkpoint_ GUARDED_BY(mu_);
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace mcmc::store

@@ -1,0 +1,94 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// These attach the locking discipline to the code itself: which mutex
+// guards which field (GUARDED_BY), which methods must be called with a
+// capability held exclusively (REQUIRES) or shared (REQUIRES_SHARED),
+// which acquire or release it (ACQUIRE/RELEASE and the _SHARED
+// flavors), and which must be called with it NOT held (EXCLUDES).
+// Under clang with `-Wthread-safety` every violation — an unlocked
+// guarded-field read, an append under a shared lock, a double acquire —
+// is a compile error, not a comment someone forgot to read; CI's
+// `thread-safety` job builds the tree that way with -Werror, and
+// tests/static_analysis/ keeps the gate honest by asserting that
+// seeded violations fail to compile.  On every other compiler (the
+// default local gcc build included) all macros expand to nothing.
+//
+// The annotated capability types these macros are meant to be used
+// with live in util/mutex.h.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define MCMC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MCMC_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a class as a capability (a lockable resource); `x` names it in
+/// diagnostics, e.g. CAPABILITY("mutex").
+#define CAPABILITY(x) MCMC_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define SCOPED_CAPABILITY MCMC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a field or variable is protected by the given
+/// capability: reads require it held (shared suffices), writes require
+/// it held exclusively.
+#define GUARDED_BY(x) MCMC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Like GUARDED_BY, for the data a pointer points to.
+#define PT_GUARDED_BY(x) MCMC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares a required acquisition order between capabilities.
+#define ACQUIRED_BEFORE(...) \
+  MCMC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) MCMC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The caller must hold the capability exclusively (REQUIRES) or at
+/// least shared (REQUIRES_SHARED) for the call; the function neither
+/// acquires nor releases it.
+#define REQUIRES(...) \
+  MCMC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  MCMC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (must not be held on entry,
+/// held on exit).
+#define ACQUIRE(...) MCMC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  MCMC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (held on entry, not on exit).
+#define RELEASE(...) MCMC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  MCMC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  MCMC_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  MCMC_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(ret, ...) \
+  MCMC_THREAD_ANNOTATION(try_acquire_shared_capability(ret, __VA_ARGS__))
+
+/// The caller must NOT hold the capability (the function acquires it
+/// internally; calling with it held would deadlock a non-reentrant
+/// lock).
+#define EXCLUDES(...) MCMC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held (for code the
+/// analysis cannot follow into).
+#define ASSERT_CAPABILITY(x) MCMC_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  MCMC_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability — lets an
+/// accessor like `mu()` stand for the private member in callers'
+/// REQUIRES clauses.
+#define RETURN_CAPABILITY(x) MCMC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Turns the analysis off for one function body (used only where a
+/// correct protocol is inexpressible, e.g. a condition variable's
+/// unlock/relock round trip; say why at each use).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MCMC_THREAD_ANNOTATION(no_thread_safety_analysis)

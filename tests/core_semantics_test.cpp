@@ -33,9 +33,9 @@ class BothEngines : public ::testing::TestWithParam<Engine> {
 
 INSTANTIATE_TEST_SUITE_P(Engines, BothEngines,
                          ::testing::Values(Engine::Sat, Engine::Explicit),
-                         [](const auto& info) {
-                           return info.param == Engine::Sat ? "Sat"
-                                                            : "Explicit";
+                         [](const auto& param_info) {
+                           return param_info.param == Engine::Sat ? "Sat"
+                                                                  : "Explicit";
                          });
 
 // ---------------------------------------------------------------------------

@@ -94,7 +94,8 @@ TEST(VerdictEngineBatch, CustomPredicateModelsSkipCanonicalSharing) {
       litmus::LitmusTest("sb", sb, both_stale),
       litmus::LitmusTest("sb-twin", sb_twin, both_stale)};
 
-  const std::vector<core::MemoryModel> models = {models::special_fence_chain(1)};
+  const std::vector<core::MemoryModel> models = {
+      models::special_fence_chain(1)};
   ASSERT_TRUE(models[0].formula().has_custom());
   engine::VerdictEngine eng;
   const auto matrix = eng.run_matrix(models, tests);

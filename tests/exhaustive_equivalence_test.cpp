@@ -34,7 +34,9 @@ enumeration::ExhaustiveOptions dep_slice_options() {
 
 std::vector<core::MemoryModel> ninety_models() {
   std::vector<core::MemoryModel> models;
-  for (const auto& c : explore::model_space(true)) models.push_back(c.to_model());
+  for (const auto& c : explore::model_space(true)) {
+    models.push_back(c.to_model());
+  }
   return models;
 }
 
@@ -236,10 +238,10 @@ TEST(RunStream, StreamedVerdictsMatchMaterializedBatch) {
 TEST(TheoremSlice, DistinguishabilityContainedInSuiteMatrices) {
   const auto models = ninety_models();
   engine::VerdictEngine eng;
-  const auto by_suite_nodep =
-      explore::distinguishability(eng, models, enumeration::corollary1_suite(false));
-  const auto by_suite_dep =
-      explore::distinguishability(eng, models, enumeration::corollary1_suite(true));
+  const auto by_suite_nodep = explore::distinguishability(
+      eng, models, enumeration::corollary1_suite(false));
+  const auto by_suite_dep = explore::distinguishability(
+      eng, models, enumeration::corollary1_suite(true));
 
   enumeration::ExhaustiveStream stream(slice_options());
   explore::TheoremHarnessReport report;

@@ -234,7 +234,8 @@ TEST_F(Exploration, LatticeEdgesAreGenuineWitnessedCovers) {
   const AdmissibilityMatrix m(models, nine);
   const Lattice lattice = build_lattice(m, names, test_names);
   for (const auto& e : lattice.edges) {
-    const int weaker = lattice.nodes[static_cast<std::size_t>(e.weaker)].members[0];
+    const int weaker =
+        lattice.nodes[static_cast<std::size_t>(e.weaker)].members[0];
     const int stronger =
         lattice.nodes[static_cast<std::size_t>(e.stronger)].members[0];
     EXPECT_EQ(m.compare(weaker, stronger), Relation::FirstWeaker);

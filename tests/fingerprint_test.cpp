@@ -65,8 +65,9 @@ TEST_P(FingerprintAllModels, RoundTripsThroughVerdicts) {
 
 INSTANTIATE_TEST_SUITE_P(
     Space, FingerprintAllModels, ::testing::Range(0, 90),
-    [](const ::testing::TestParamInfo<int>& info) {
-      return model_space(true)[static_cast<std::size_t>(info.param)].name();
+    [](const ::testing::TestParamInfo<int>& param_info) {
+      return model_space(true)[static_cast<std::size_t>(param_info.param)]
+          .name();
     });
 
 }  // namespace

@@ -143,8 +143,8 @@ TEST(Parser, BadInputTableProducesTaggedParseErrors) {
        "expected register"},
       {"read missing arrow", "name: x\nthread:\n  Read X r1\noutcome:\n",
        "usage: Read"},
-      {"read from register token", "name: x\nthread:\n  Read r1 -> r2\noutcome:\n",
-       "expected location"},
+      {"read from register token",
+       "name: x\nthread:\n  Read r1 -> r2\noutcome:\n", "expected location"},
       {"write missing arrow", "name: x\nthread:\n  Write X 1\noutcome:\n",
        "usage: Write"},
       {"write bad value", "name: x\nthread:\n  Write X <- banana\noutcome:\n",

@@ -97,7 +97,9 @@ TEST(PreparedDifferential, CompiledMaskMatchesPerPairEvaluation) {
 TEST(PreparedDifferential, EngineMatrixIdenticalWithAndWithoutPreparedPath) {
   const auto suite = enumeration::corollary1_suite(true);
   std::vector<core::MemoryModel> models;
-  for (const auto& c : explore::model_space(true)) models.push_back(c.to_model());
+  for (const auto& c : explore::model_space(true)) {
+    models.push_back(c.to_model());
+  }
 
   engine::EngineOptions prepared_options;
   prepared_options.backend = engine::Backend::Explicit;

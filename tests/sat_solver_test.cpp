@@ -246,7 +246,8 @@ Cnf random_cnf(util::Rng& rng, int num_vars, int num_clauses) {
     Clause clause;
     const int len = 1 + static_cast<int>(rng.below(3));
     for (int k = 0; k < len; ++k) {
-      const auto v = static_cast<Var>(rng.below(static_cast<std::uint64_t>(num_vars)));
+      const auto v =
+          static_cast<Var>(rng.below(static_cast<std::uint64_t>(num_vars)));
       clause.push_back(Lit(v, rng.chance(1, 2)));
     }
     cnf.clauses.push_back(clause);

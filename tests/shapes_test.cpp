@@ -206,7 +206,8 @@ TEST(ShapeMaterialize, ForEachReadResolvesDepIndirectAddresses) {
       shape_of({{true, 2}, {true, 0, Sep::DataDep}, {true, 1, Sep::CtrlDep}}),
       values, next_reg);
   std::vector<std::pair<core::Reg, int>> reads;
-  for_each_read(t, [&](core::Reg dst, int loc) { reads.push_back({dst, loc}); });
+  for_each_read(t,
+                [&](core::Reg dst, int loc) { reads.push_back({dst, loc}); });
   // The dep-addressed middle read resolves to its DepConst location,
   // not core::kNoLoc (the bug the dependency extension flushed out).
   const std::vector<std::pair<core::Reg, int>> want = {{0, 2}, {2, 0}, {3, 1}};

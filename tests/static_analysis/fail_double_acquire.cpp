@@ -1,0 +1,19 @@
+// Negative case: acquiring the same mutex twice in one scope must be
+// rejected by -Wthread-safety.  util::Mutex is not recursive; a second
+// MutexLock on the same capability is a guaranteed self-deadlock.
+#include "util/mutex.h"
+
+namespace {
+
+void bad_double_lock(mcmc::util::Mutex& mu) {
+  mcmc::util::MutexLock first(mu);
+  // BAD: mu is already held by `first`.
+  mcmc::util::MutexLock second(mu);
+}
+
+}  // namespace
+
+int main() {
+  (void)&bad_double_lock;
+  return 0;
+}

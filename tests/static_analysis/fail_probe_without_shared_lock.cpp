@@ -1,0 +1,22 @@
+// Negative case: probing the verdict store without holding the store
+// mutex in shared mode must be rejected by -Wthread-safety.
+//
+// probe_bit_locked is REQUIRES_SHARED(mu_): the caller promises it
+// already holds the reader side of the store lock.  Calling it bare is
+// exactly the race the annotated contract exists to rule out.
+#include "store/verdict_store.h"
+
+namespace {
+
+bool bad_probe(const mcmc::store::VerdictStore& store,
+               mcmc::util::Key128 key) {
+  // BAD: no SharedLock (or ExclusiveLock) on store.mu() is held here.
+  return store.probe_bit_locked(key, 0).has_value();
+}
+
+}  // namespace
+
+int main() {
+  (void)&bad_probe;
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Negative case: reading a GUARDED_BY field without holding its mutex
+// must be rejected by -Wthread-safety.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  mcmc::util::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+};
+
+int bad_read(const Counter& c) {
+  // BAD: c.value is guarded by c.mu, which is not held here.
+  return c.value;
+}
+
+}  // namespace
+
+int main() {
+  (void)&bad_read;
+  return 0;
+}

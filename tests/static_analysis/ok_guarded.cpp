@@ -1,0 +1,39 @@
+// Positive control: correct guarded-field access and condition-variable
+// waiting compile cleanly under -Wthread-safety -Werror.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Queue {
+  mcmc::util::Mutex mu;
+  mcmc::util::CondVar ready;
+  int depth GUARDED_BY(mu) = 0;
+  bool stopped GUARDED_BY(mu) = false;
+};
+
+void push(Queue& q) {
+  mcmc::util::MutexLock lock(q.mu);
+  ++q.depth;
+  q.ready.notify_one();
+}
+
+int pop(Queue& q) {
+  mcmc::util::MutexLock lock(q.mu);
+  while (q.depth == 0 && !q.stopped) {
+    q.ready.wait(q.mu);
+  }
+  if (q.depth > 0) {
+    --q.depth;
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  (void)&push;
+  (void)&pop;
+  return 0;
+}

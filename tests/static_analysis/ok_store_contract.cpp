@@ -1,0 +1,44 @@
+// Positive control: the intended verdict-store usage patterns compile
+// cleanly under -Wthread-safety -Werror.  If this file ever fails, the
+// negative cases prove nothing (the harness would be rejecting correct
+// code, not catching violations).
+#include <vector>
+
+#include "store/verdict_store.h"
+
+namespace {
+
+// Convenience wrappers: each call takes the right lock internally.
+bool wrapped_usage(mcmc::store::VerdictStore& store, mcmc::util::Key128 key) {
+  store.set_bit(key, 0, true);
+  return store.probe_bit(key, 0).has_value();
+}
+
+// Batched reader: one shared acquisition covers many probes.
+bool batched_probes(const mcmc::store::VerdictStore& store,
+                    const std::vector<mcmc::util::Key128>& keys) {
+  mcmc::util::SharedLock lock(store.mu());
+  bool any = false;
+  for (const auto& key : keys) {
+    any = any || store.probe_bit_locked(key, 0).has_value();
+  }
+  return any;
+}
+
+// Batched writer: one exclusive acquisition covers many appends.
+void batched_appends(mcmc::store::VerdictStore& store,
+                     const std::vector<mcmc::util::Key128>& keys) {
+  mcmc::util::ExclusiveLock lock(store.mu());
+  for (const auto& key : keys) {
+    store.set_bit_locked(key, 0, true);
+  }
+}
+
+}  // namespace
+
+int main() {
+  (void)&wrapped_usage;
+  (void)&batched_probes;
+  (void)&batched_appends;
+  return 0;
+}

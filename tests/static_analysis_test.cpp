@@ -1,0 +1,124 @@
+// Negative-compile harness for the thread-safety annotations.
+//
+// Each fail_*.cpp under tests/static_analysis/ seeds one lock-discipline
+// violation (probe without a shared lock, append under a shared lock,
+// unlocked guarded-field read, double acquire).  This driver shells out
+// to a real clang and asserts, per case, that:
+//
+//   1. the file FAILS to compile with -Wthread-safety
+//      -Wthread-safety-beta -Werror, and the diagnostic is actually a
+//      thread-safety one (not some unrelated error masking a broken
+//      test), and
+//   2. the same file compiles CLEANLY without the analysis flags, so
+//      the only defect in it is the seeded locking violation.
+//
+// The ok_*.cpp positive controls must compile cleanly WITH the flags;
+// without them, a harness that rejected everything would look like it
+// was catching violations.
+//
+// When no clang is on PATH (MCMC_TSA_CLANG empty -- e.g. a GCC-only
+// box), every test skips: the annotations are no-ops off Clang, so
+// there is nothing to check locally; the CI thread-safety job provides
+// clang and runs this for real.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+constexpr const char* kClang = MCMC_TSA_CLANG;
+constexpr const char* kSourceDir = MCMC_SOURCE_DIR;
+
+struct CompileResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+// Runs `cmd` with stderr folded into stdout and captures both.
+CompileResult run(const std::string& cmd) {
+  CompileResult result;
+  FILE* pipe = ::popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buf{};
+  while (std::fgets(buf.data(), static_cast<int>(buf.size()), pipe) !=
+         nullptr) {
+    result.output += buf.data();
+  }
+  result.exit_code = ::pclose(pipe);
+  return result;
+}
+
+std::string compile_command(const std::string& case_file, bool with_tsa) {
+  std::string cmd = std::string(kClang) + " -fsyntax-only -std=c++17 -I " +
+                    kSourceDir + "/src";
+  if (with_tsa) {
+    cmd += " -Wthread-safety -Wthread-safety-beta -Werror";
+  }
+  cmd += " " + std::string(kSourceDir) + "/tests/static_analysis/" + case_file;
+  return cmd;
+}
+
+class StaticAnalysis : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::string(kClang).empty()) {
+      GTEST_SKIP() << "no clang available; thread-safety analysis needs "
+                      "Clang (the CI thread-safety job runs this)";
+    }
+  }
+
+  // The seeded violation must be rejected by the analysis and by
+  // nothing else: clean without the flags, thread-safety error with.
+  void expect_rejected(const std::string& case_file) {
+    const CompileResult plain = run(compile_command(case_file, false));
+    EXPECT_EQ(plain.exit_code, 0)
+        << case_file << " must be valid C++ apart from the seeded "
+        << "locking violation, but failed without analysis flags:\n"
+        << plain.output;
+    const CompileResult checked = run(compile_command(case_file, true));
+    EXPECT_NE(checked.exit_code, 0)
+        << case_file << " compiled cleanly; the seeded violation was "
+        << "not caught:\n"
+        << checked.output;
+    EXPECT_NE(checked.output.find("thread-safety"), std::string::npos)
+        << case_file << " failed for a reason other than the "
+        << "thread-safety analysis:\n"
+        << checked.output;
+  }
+
+  void expect_accepted(const std::string& case_file) {
+    const CompileResult checked = run(compile_command(case_file, true));
+    EXPECT_EQ(checked.exit_code, 0)
+        << case_file << " is a positive control and must compile "
+        << "cleanly under the analysis:\n"
+        << checked.output;
+  }
+};
+
+TEST_F(StaticAnalysis, ProbeWithoutSharedLockIsRejected) {
+  expect_rejected("fail_probe_without_shared_lock.cpp");
+}
+
+TEST_F(StaticAnalysis, AppendUnderSharedLockIsRejected) {
+  expect_rejected("fail_append_under_shared_lock.cpp");
+}
+
+TEST_F(StaticAnalysis, UnlockedGuardedFieldReadIsRejected) {
+  expect_rejected("fail_unlocked_guarded_field_read.cpp");
+}
+
+TEST_F(StaticAnalysis, DoubleAcquireIsRejected) {
+  expect_rejected("fail_double_acquire.cpp");
+}
+
+TEST_F(StaticAnalysis, StoreContractPatternsAreAccepted) {
+  expect_accepted("ok_store_contract.cpp");
+}
+
+TEST_F(StaticAnalysis, GuardedAccessPatternsAreAccepted) {
+  expect_accepted("ok_guarded.cpp");
+}
+
+}  // namespace

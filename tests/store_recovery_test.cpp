@@ -32,7 +32,9 @@ enumeration::ExhaustiveOptions slice_options() {
 const std::vector<core::MemoryModel>& ninety_models() {
   static const std::vector<core::MemoryModel> models = [] {
     std::vector<core::MemoryModel> out;
-    for (const auto& c : explore::model_space(true)) out.push_back(c.to_model());
+    for (const auto& c : explore::model_space(true)) {
+      out.push_back(c.to_model());
+    }
     return out;
   }();
   return models;
@@ -199,7 +201,7 @@ TEST_F(StoreRecovery, KillThenResumeReproducesSliceBitForBit) {
         path_, explore::harness_store_meta(ninety_models()));
     ASSERT_EQ(opened.outcome, store::OpenOutcome::Loaded);
     ASSERT_TRUE(opened.store->checkpoint().has_value());
-    const store::StreamCheckpoint& ck = *opened.store->checkpoint();
+    const store::StreamCheckpoint ck = *opened.store->checkpoint();
     EXPECT_GT(ck.tests_streamed, 0u);
     EXPECT_LT(ck.tests_streamed, reference().report.stream.tests_streamed);
     EXPECT_EQ(ck.tests_streamed, ck.novel_tests + ck.duplicate_tests);

@@ -121,7 +121,9 @@ TEST(VerdictStore, ConcurrentProbesWithSerializedAppender) {
       store.set_bit(key_of(i), 0, i % 3 == 0);
       store.set_bit(key_of(i), 2, i % 5 == 0);
       published.store(i + 1, std::memory_order_release);
-      if (i % 128 == 0) EXPECT_TRUE(store.save(path));
+      if (i % 128 == 0) {
+        EXPECT_TRUE(store.save(path));
+      }
     }
   });
   std::vector<std::thread> readers;
@@ -150,6 +152,99 @@ TEST(VerdictStore, ConcurrentProbesWithSerializedAppender) {
   auto reopened = VerdictStore::open(path, small_meta());
   EXPECT_EQ(reopened.outcome, OpenOutcome::Loaded);
   EXPECT_EQ(reopened.store->size(), static_cast<std::size_t>(kKeys));
+  scrub(path);
+}
+
+TEST(VerdictStore, MixedProbeAppendCheckpointScheduleUnderContention) {
+  // litmusd-shaped schedule: the serving tier runs batched shared-lock
+  // probes (one SharedLock per request batch) concurrent with the
+  // engine's batched exclusive write-back (one ExclusiveLock per
+  // chunk), while a checkpoint thread snapshots and persists progress.
+  // This exercises the annotated _locked contract end to end -- every
+  // access below holds exactly the lock mode its annotation demands --
+  // and under the tsan CI job it is the detector for the batched
+  // write-back paths that the per-cell test above cannot reach.
+  const std::string path = temp_path("mixed_schedule");
+  scrub(path);
+  VerdictStore store(small_meta());
+  constexpr int kChunks = 32;
+  constexpr int kChunkSize = 16;
+  constexpr int kProbers = 3;
+
+  std::atomic<int> chunks_published{0};
+  std::atomic<bool> wrong{false};
+
+  std::thread appender([&] {
+    for (int c = 0; c < kChunks; ++c) {
+      {
+        // One exclusive acquisition covers the whole chunk.
+        util::ExclusiveLock lock(store.mu());
+        for (int j = 0; j < kChunkSize; ++j) {
+          const int i = c * kChunkSize + j;
+          store.set_bit_locked(key_of(i), 0, i % 3 == 0);
+          store.set_bit_locked(key_of(i), 1, i % 7 == 0);
+        }
+      }
+      chunks_published.store(c + 1, std::memory_order_release);
+    }
+  });
+
+  std::vector<std::thread> probers;
+  for (int r = 0; r < kProbers; ++r) {
+    probers.emplace_back([&] {
+      const std::vector<int> cols = {0, 1};
+      std::vector<std::uint64_t> row;
+      for (int round = 0; round < 8; ++round) {
+        const int upto =
+            chunks_published.load(std::memory_order_acquire) * kChunkSize;
+        // One shared acquisition covers the whole probe batch.
+        util::SharedLock lock(store.mu());
+        for (int i = 0; i < upto; ++i) {
+          if (!store.probe_row_locked(key_of(i), cols, row)) {
+            wrong.store(true);
+            continue;
+          }
+          if ((row[0] & 1u) != (i % 3 == 0 ? 1u : 0u)) wrong.store(true);
+          if (((row[0] >> 1) & 1u) != (i % 7 == 0 ? 1u : 0u)) {
+            wrong.store(true);
+          }
+        }
+      }
+    });
+  }
+
+  std::thread checkpointer([&] {
+    for (int round = 0; round < 8; ++round) {
+      const int done = chunks_published.load(std::memory_order_acquire);
+      StreamCheckpoint ck;
+      ck.chunks = static_cast<std::uint64_t>(done);
+      ck.tests_streamed = static_cast<std::uint64_t>(done) * kChunkSize;
+      store.set_checkpoint(ck);
+      const auto back = store.checkpoint();
+      if (!back.has_value() || back->tests_streamed != ck.tests_streamed ||
+          back->chunks * kChunkSize != back->tests_streamed) {
+        wrong.store(true);
+      }
+      if (round % 3 == 0) {
+        EXPECT_TRUE(store.save(path));
+      }
+    }
+  });
+
+  appender.join();
+  for (auto& t : probers) t.join();
+  checkpointer.join();
+  EXPECT_FALSE(wrong.load());
+  EXPECT_EQ(store.misses(), 0u);
+
+  ASSERT_TRUE(store.save(path));
+  auto reopened = VerdictStore::open(path, small_meta());
+  EXPECT_EQ(reopened.outcome, OpenOutcome::Loaded) << reopened.detail;
+  EXPECT_EQ(reopened.store->size(),
+            static_cast<std::size_t>(kChunks * kChunkSize));
+  ASSERT_TRUE(reopened.store->checkpoint().has_value());
+  EXPECT_EQ(reopened.store->checkpoint()->chunks,
+            static_cast<std::uint64_t>(kChunks));
   scrub(path);
 }
 
@@ -401,7 +496,8 @@ class StoreFaults : public ::testing::Test {
 
   /// Saves a bigger second generation through `fs` expecting failure,
   /// then proves the first generation still loads bit for bit.
-  void expect_failed_save_keeps_old_file(FaultFs& fs, const std::string& label) {
+  void expect_failed_save_keeps_old_file(FaultFs& fs,
+                                         const std::string& label) {
     VerdictStore next(small_meta());
     for (int i = 0; i < 64; ++i) next.set_bit(key_of(i), i % 3, true);
     std::string error;

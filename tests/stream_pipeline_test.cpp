@@ -35,7 +35,8 @@ TEST(Hash128, DistinguishesAndRepeats) {
   const util::Key128 c = util::hash128(std::string("R0=1;W0<1"));
   EXPECT_EQ(a, c);
   EXPECT_NE(a, b);
-  EXPECT_NE(util::hash128(std::string("")), util::hash128(std::string("\0", 1)));
+  EXPECT_NE(util::hash128(std::string("")),
+            util::hash128(std::string("\0", 1)));
   // Same content split differently by length must differ.
   EXPECT_NE(util::hash128("ab", 2), util::hash128("ab", 1));
 }
@@ -298,7 +299,8 @@ TEST(EngineExceptions, ThrowingPredicateSurfacesFromRunStream) {
 
     engine::VectorSource good(enumeration::corollary1_suite(false), 16);
     const auto stats = eng.run_stream({models::sc()}, good, nullptr);
-    EXPECT_EQ(stats.tests_streamed, enumeration::corollary1_suite(false).size());
+    EXPECT_EQ(stats.tests_streamed,
+              enumeration::corollary1_suite(false).size());
   }
 }
 
@@ -386,7 +388,9 @@ TEST(StreamDeterminism, HarnessMatrixIdenticalAcrossThreadCounts) {
   slice.chunk_size = 256;
 
   std::vector<core::MemoryModel> models;
-  for (const auto& c : explore::model_space(true)) models.push_back(c.to_model());
+  for (const auto& c : explore::model_space(true)) {
+    models.push_back(c.to_model());
+  }
 
   auto run = [&](int threads) {
     engine::EngineOptions options;

@@ -105,7 +105,7 @@ class MonotonicitySweep : public ::testing::TestWithParam<int> {};
 TEST_P(MonotonicitySweep, StrongerFormulaAllowsSubset) {
   util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 5);
   const auto f1 = random_positive_formula(rng, 3);
-  const auto f2 = f1 || random_positive_formula(rng, 3);  // f2 implies more order
+  const auto f2 = f1 || random_positive_formula(rng, 3);  // implies more order
   const core::MemoryModel weaker("weaker", f1);
   const core::MemoryModel stronger("stronger", f2);
   enumeration::NaiveOptions options;

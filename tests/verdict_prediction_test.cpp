@@ -109,8 +109,9 @@ TEST_P(AllNinetyModels, CheckerMatchesClosedFormPredictions) {
 
 INSTANTIATE_TEST_SUITE_P(
     Space, AllNinetyModels, ::testing::Range(0, 90),
-    [](const ::testing::TestParamInfo<int>& info) {
-      return explore::model_space(true)[static_cast<std::size_t>(info.param)]
+    [](const ::testing::TestParamInfo<int>& param_info) {
+      return explore::model_space(true)[static_cast<std::size_t>(
+                 param_info.param)]
           .name();
     });
 
